@@ -1,0 +1,82 @@
+// Figure 5 / section 4.4: generalization to more joins than trained on.
+// MSCN is trained on 0-2 joins; the scale workload evaluates 0-4 joins.
+// Also reports the 95th percentiles with and without the queries whose true
+// cardinality exceeds the training maximum (the paper's outlier analysis).
+
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/str.h"
+
+int main() {
+  lc::Experiment experiment;
+  std::cout << "=== Figure 5: Generalizing to queries with more joins "
+               "(scale workload) ===\n";
+  experiment.PrintSetup(std::cout);
+
+  const lc::Workload& scale = experiment.ScaleWorkload();
+  const lc::Workload& training = experiment.TrainingWorkload();
+
+  std::vector<lc::NamedBoxSeries> series;
+  std::vector<double> pg_estimates =
+      lc::EstimateWorkload(&experiment.Postgres(), scale);
+  std::vector<double> mscn_estimates =
+      lc::EstimateWorkload(&experiment.Mscn(), scale);
+  series.push_back(
+      lc::BoxSeriesByJoins("PostgreSQL", pg_estimates, scale, 4));
+  series.push_back(lc::BoxSeriesByJoins("MSCN", mscn_estimates, scale, 4));
+  lc::PrintBoxplotFigure(std::cout, "", series);
+
+  // 95th percentile per join count, and the out-of-range split.
+  const int64_t max_trained = training.MaxCardinality();
+  size_t out_of_range = 0;
+  for (const lc::LabeledQuery& labeled : scale.queries) {
+    if (labeled.cardinality > max_trained) ++out_of_range;
+  }
+  std::cout << lc::Format(
+      "\n%zu of %zu scale queries exceed the maximum cardinality seen "
+      "during training (paper: 58 of 500)\n\n",
+      out_of_range, scale.size());
+
+  std::cout << lc::Format("%-26s %10s %10s %10s %10s %10s\n",
+                          "95th pct q-error", "0 joins", "1 join", "2 joins",
+                          "3 joins", "4 joins");
+  const auto p95_row = [&](const char* name,
+                           const std::vector<double>& estimates,
+                           bool exclude_out_of_range) {
+    std::string row = lc::Format("%-26s", name);
+    for (int joins = 0; joins <= 4; ++joins) {
+      std::vector<size_t> subset;
+      for (size_t index : scale.QueriesWithJoins(joins)) {
+        if (exclude_out_of_range &&
+            scale.queries[index].cardinality > max_trained) {
+          continue;
+        }
+        subset.push_back(index);
+      }
+      if (subset.empty()) {
+        row += lc::Format(" %10s", "-");
+        continue;
+      }
+      row += lc::Format(
+          " %10s",
+          lc::HumanNumber(
+              lc::Quantile(lc::QErrors(estimates, scale, subset), 0.95))
+              .c_str());
+    }
+    std::cout << row << "\n";
+  };
+  p95_row("PostgreSQL", pg_estimates, false);
+  p95_row("MSCN", mscn_estimates, false);
+  p95_row("MSCN (in-range only)", mscn_estimates, true);
+
+  std::cout << "\npaper (section 4.4): MSCN 95th percentile grows 7.66 -> "
+               "38.6 -> 2397 for 2 -> 3 -> 4 joins (PostgreSQL: 78.0 at 3 "
+               "joins, 4077 at 4); excluding out-of-range queries, MSCN's "
+               "3/4-join 95th percentiles drop to 23.8/175.\n"
+            << "(expected shape: MSCN degrades gracefully at 3 joins, "
+               "sharply at 4; most of the 4-join tail is out-of-range "
+               "cardinalities)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 3: 0-tuple situations (paper section 4.2) — base-table queries of
+// the synthetic workload whose materialized sample qualifies zero tuples.
+// Compares PostgreSQL, Random Sampling and MSCN on exactly this subset.
+
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/str.h"
+
+int main() {
+  lc::Experiment experiment;
+  std::cout << "=== Table 3: Base-table queries with empty samples (0-tuple "
+               "situations) ===\n";
+  experiment.PrintSetup(std::cout);
+
+  const lc::Workload& synthetic = experiment.SyntheticWorkload();
+
+  // Base-table queries (0 joins) whose bitmap is all zeros.
+  std::vector<size_t> zero_tuple;
+  size_t base_table_queries = 0;
+  for (size_t i = 0; i < synthetic.size(); ++i) {
+    const lc::LabeledQuery& labeled = synthetic.queries[i];
+    if (labeled.query.num_joins() != 0) continue;
+    ++base_table_queries;
+    if (labeled.sample_counts.size() == 1 && labeled.sample_counts[0] == 0) {
+      zero_tuple.push_back(i);
+    }
+  }
+  std::cout << lc::Format(
+      "%zu of %zu base-table queries (%.0f%%) have empty samples\n",
+      zero_tuple.size(), base_table_queries,
+      100.0 * static_cast<double>(zero_tuple.size()) /
+          static_cast<double>(base_table_queries == 0 ? 1
+                                                      : base_table_queries));
+  std::cout << "(paper: 376 of 1636 base table queries = 22%)\n\n";
+
+  if (zero_tuple.empty()) {
+    std::cout << "no 0-tuple queries at this scale; increase "
+                 "LC_SYNTHETIC_QUERIES or lower LC_SAMPLE_SIZE\n";
+    return 0;
+  }
+
+  std::vector<lc::NamedSummary> rows;
+  for (lc::CardinalityEstimator* estimator :
+       {static_cast<lc::CardinalityEstimator*>(&experiment.Postgres()),
+        static_cast<lc::CardinalityEstimator*>(&experiment.RandomSampling()),
+        static_cast<lc::CardinalityEstimator*>(&experiment.Mscn())}) {
+    const std::vector<double> estimates =
+        lc::EstimateWorkload(estimator, synthetic);
+    rows.push_back({estimator->name(),
+                    lc::Summarize(lc::QErrors(estimates, synthetic,
+                                              zero_tuple))});
+  }
+  lc::PrintErrorTable(std::cout, "", rows);
+
+  std::cout << "\npaper (Table 3):\n"
+            << "                     median       90th       95th       99th"
+               "        max       mean\n"
+            << "  PostgreSQL           4.78       62.8        107       1141"
+               "      21522        133\n"
+            << "  Random Samp.         9.13       80.1        173        993"
+               "      19009        147\n"
+            << "  MSCN                 2.94       13.6       28.4       56.9"
+               "        119       6.89\n"
+            << "(expected shape: MSCN far more robust than both when "
+               "runtime sampling carries no signal)\n";
+  return 0;
+}

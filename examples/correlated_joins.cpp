@@ -1,0 +1,114 @@
+// Scenario: join-crossing correlations (the paper's motivating example —
+// "French actors are more likely to participate in romantic movies").
+//
+// The synthetic dataset plants the analogous dependency: production
+// companies are "active" in eras, so a predicate on the company id
+// correlates with the production year of the joined title. Independence-
+// based estimators multiply the two selectivities and miss the interaction;
+// MSCN learns it. This example compares era-aligned predicate pairs (old
+// movies x old companies) against misaligned pairs (old movies x modern
+// companies) — individually the predicates have identical selectivities, so
+// any estimator that assumes independence must give both pairs (almost) the
+// same estimate.
+
+#include <iostream>
+
+#include "core/mscn_estimator.h"
+#include "core/trainer.h"
+#include "est/postgres.h"
+#include "est/random_sampling.h"
+#include "imdb/imdb.h"
+#include "util/stats.h"
+#include "util/str.h"
+#include "workload/generator.h"
+
+int main() {
+  lc::ImdbConfig imdb_config;
+  imdb_config.num_titles = 20000;
+  imdb_config.num_companies = 1400;
+  imdb_config.num_persons = 12000;
+  imdb_config.num_keywords = 2500;
+  const lc::Database db = lc::GenerateImdb(imdb_config);
+  const lc::SampleSet samples(&db, 128, 21);
+  const lc::Executor executor(&db);
+  const lc::ImdbColumns cols = lc::ResolveImdbColumns(db.schema());
+
+  lc::GeneratorConfig generator_config;
+  generator_config.seed = 31;
+  lc::QueryGenerator generator(&db, generator_config);
+  const lc::Workload corpus =
+      generator.GenerateLabeled(executor, samples, 8000, "corpus");
+  lc::MscnConfig mscn_config;
+  mscn_config.hidden_units = 64;
+  mscn_config.epochs = 30;
+  const lc::Featurizer featurizer(&db, mscn_config.variant,
+                                  samples.sample_size());
+  lc::Trainer trainer(&featurizer, mscn_config);
+  const lc::TrainValSplit split = lc::SplitWorkload(corpus, 0.1, 2);
+  lc::MscnModel model = trainer.Train(split.train, split.validation, nullptr);
+  lc::MscnEstimator mscn(&featurizer, &model);
+  lc::PostgresEstimator pg(&db);
+  lc::RandomSamplingEstimator rs(&db, &samples);
+
+  // Open-range predicate pairs (the training distribution contains exactly
+  // this kind of predicate). "old" selects roughly the early eras, "new"
+  // the late ones; companies are banded by era, low ids = early eras.
+  const int32_t old_year = 1960;   // production_year < 1960 -> early eras.
+  const int32_t new_year = 2010;   // production_year > 2010 -> last era.
+  const int32_t low_company = imdb_config.num_companies / lc::kNumEras;
+  const int32_t high_company =
+      imdb_config.num_companies - imdb_config.num_companies / lc::kNumEras;
+
+  struct Case {
+    const char* label;
+    lc::Predicate title_predicate;
+    lc::Predicate company_predicate;
+  };
+  const Case cases[] = {
+      {"old titles x old companies (aligned)",
+       {cols.title, cols.title_production_year, lc::CompareOp::kLt, old_year},
+       {cols.movie_companies, cols.mc_company_id, lc::CompareOp::kLt,
+        low_company}},
+      {"old titles x new companies (conflicting)",
+       {cols.title, cols.title_production_year, lc::CompareOp::kLt, old_year},
+       {cols.movie_companies, cols.mc_company_id, lc::CompareOp::kGt,
+        high_company}},
+      {"new titles x new companies (aligned)",
+       {cols.title, cols.title_production_year, lc::CompareOp::kGt, new_year},
+       {cols.movie_companies, cols.mc_company_id, lc::CompareOp::kGt,
+        high_company}},
+      {"new titles x old companies (conflicting)",
+       {cols.title, cols.title_production_year, lc::CompareOp::kGt, new_year},
+       {cols.movie_companies, cols.mc_company_id, lc::CompareOp::kLt,
+        low_company}},
+  };
+
+  std::cout << "\njoin-crossing correlation probe "
+               "(title JOIN movie_companies):\n\n";
+  std::cout << lc::Format("%-44s %10s %12s %12s %12s\n", "case", "true",
+                          "PostgreSQL", "RandSamp", "MSCN");
+  for (const Case& probe : cases) {
+    lc::Query query;
+    query.tables = {cols.title, cols.movie_companies};
+    query.joins = {0};
+    query.predicates = {probe.title_predicate, probe.company_predicate};
+    query.Canonicalize();
+    const lc::LabeledQuery labeled =
+        lc::LabelQuery(query, &executor, samples);
+    const double truth = static_cast<double>(labeled.cardinality);
+    std::cout << lc::Format("%-44s %10.0f %9.0f(%4.1fx) %9.0f(%4.1fx) "
+                            "%9.0f(%4.1fx)\n",
+                            probe.label, truth, pg.Estimate(labeled),
+                            lc::QError(pg.Estimate(labeled), truth),
+                            rs.Estimate(labeled),
+                            lc::QError(rs.Estimate(labeled), truth),
+                            mscn.Estimate(labeled),
+                            lc::QError(mscn.Estimate(labeled), truth));
+  }
+  std::cout <<
+      "\nAligned pairs return far more rows than conflicting pairs, yet "
+      "independence-based estimators cannot tell them apart: they "
+      "overestimate the conflicting cases and underestimate the aligned "
+      "ones. MSCN's q-errors stay much closer to 1 on both.\n";
+  return 0;
+}

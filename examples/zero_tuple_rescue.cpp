@@ -1,0 +1,107 @@
+// Scenario: the 0-tuple problem (paper sections 1 and 4.2).
+//
+// A query optimizer asks for the cardinality of queries with selective
+// predicates. When the materialized sample contains no qualifying tuple,
+// every purely sampling-based estimator degenerates to an educated guess —
+// while MSCN still reads signal from the query's structure (which table,
+// which columns, which operators, where the literals sit in their domains).
+// This example harvests real 0-tuple queries from the paper's query
+// generator and compares Random Sampling and MSCN on that subset, mirroring
+// the paper's Table 3 as a narrative.
+
+#include <iostream>
+
+#include "core/mscn_estimator.h"
+#include "core/trainer.h"
+#include "est/random_sampling.h"
+#include "imdb/imdb.h"
+#include "util/stats.h"
+#include "util/str.h"
+#include "workload/generator.h"
+
+int main() {
+  lc::ImdbConfig imdb_config;
+  imdb_config.num_titles = 20000;
+  imdb_config.num_companies = 1500;
+  imdb_config.num_persons = 12000;
+  imdb_config.num_keywords = 2500;
+  const lc::Database db = lc::GenerateImdb(imdb_config);
+  const lc::SampleSet samples(&db, 128, 9);
+  const lc::Executor executor(&db);
+
+  // Train a compact MSCN on generator queries.
+  lc::GeneratorConfig train_config;
+  train_config.seed = 11;
+  lc::QueryGenerator train_generator(&db, train_config);
+  const lc::Workload corpus =
+      train_generator.GenerateLabeled(executor, samples, 8000, "corpus");
+  lc::MscnConfig mscn_config;
+  mscn_config.hidden_units = 64;
+  mscn_config.epochs = 30;
+  const lc::Featurizer featurizer(&db, mscn_config.variant,
+                                  samples.sample_size());
+  lc::Trainer trainer(&featurizer, mscn_config);
+  const lc::TrainValSplit split = lc::SplitWorkload(corpus, 0.1, 1);
+  lc::MscnModel model = trainer.Train(split.train, split.validation, nullptr);
+  lc::MscnEstimator mscn(&featurizer, &model);
+  lc::RandomSamplingEstimator rs(&db, &samples);
+
+  // Harvest unseen base-table queries whose sample bitmap is empty.
+  lc::GeneratorConfig probe_config;
+  probe_config.seed = 999;  // Different seed: none of these were trained on.
+  probe_config.max_joins = 0;
+  lc::QueryGenerator probe_generator(&db, probe_config);
+  std::vector<lc::LabeledQuery> zero_tuple;
+  int attempts = 0;
+  while (zero_tuple.size() < 150 && attempts < 20000) {
+    ++attempts;
+    lc::Query query = probe_generator.Generate();
+    if (query.predicates.empty()) continue;
+    lc::LabeledQuery labeled = lc::LabelQuery(query, &executor, samples);
+    if (labeled.cardinality <= 0) continue;          // Paper skips empties.
+    if (labeled.sample_counts[0] != 0) continue;     // Sample sees tuples.
+    zero_tuple.push_back(std::move(labeled));
+  }
+  std::cout << "collected " << zero_tuple.size()
+            << " base-table queries with empty samples (out of " << attempts
+            << " generated)\n\n";
+
+  // Show a few concrete cases...
+  for (size_t i = 0; i < std::min<size_t>(3, zero_tuple.size()); ++i) {
+    const lc::LabeledQuery& labeled = zero_tuple[i];
+    const double truth = static_cast<double>(labeled.cardinality);
+    std::cout << labeled.query.ToSql(db.schema()) << "\n";
+    std::cout << lc::Format(
+        "  true: %8.0f | RandSamp: %8.0f (q=%.1f) | MSCN: %8.0f (q=%.1f)\n",
+        truth, rs.Estimate(labeled), lc::QError(rs.Estimate(labeled), truth),
+        mscn.Estimate(labeled), lc::QError(mscn.Estimate(labeled), truth));
+  }
+
+  // ...and the aggregate picture (the paper's Table 3).
+  std::vector<double> rs_qerrors;
+  std::vector<double> mscn_qerrors;
+  for (const lc::LabeledQuery& labeled : zero_tuple) {
+    const double truth = static_cast<double>(labeled.cardinality);
+    rs_qerrors.push_back(lc::QError(rs.Estimate(labeled), truth));
+    mscn_qerrors.push_back(lc::QError(mscn.Estimate(labeled), truth));
+  }
+  if (!rs_qerrors.empty()) {
+    std::cout << lc::Format(
+        "\naggregate q-errors over all %zu 0-tuple queries:\n",
+        zero_tuple.size());
+    std::cout << lc::Format("  %-14s median %6.2f   95th %8.2f   mean %8.2f\n",
+                            "Random Samp.", lc::Quantile(rs_qerrors, 0.5),
+                            lc::Quantile(rs_qerrors, 0.95),
+                            lc::Mean(rs_qerrors));
+    std::cout << lc::Format("  %-14s median %6.2f   95th %8.2f   mean %8.2f\n",
+                            "MSCN", lc::Quantile(mscn_qerrors, 0.5),
+                            lc::Quantile(mscn_qerrors, 0.95),
+                            lc::Mean(mscn_qerrors));
+  }
+  std::cout << "\nWith zero qualifying samples, RS must guess from conjunct "
+               "statistics; MSCN exploits the learned joint signal of "
+               "table, columns, operators and literal positions, which "
+               "keeps its tail in check (paper Table 3: MSCN mean 6.89 vs "
+               "RS 147).\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "core/featurizer.h"
+
+#include <algorithm>
+
+#include "db/column.h"
+#include "util/check.h"
+
+namespace lc {
+
+Featurizer::Featurizer(const Database* db, FeatureVariant variant,
+                       size_t sample_bits)
+    : db_(db), variant_(variant), sample_bits_(sample_bits) {
+  LC_CHECK(db != nullptr);
+  LC_CHECK_GT(sample_bits, 0u);
+  const Schema& schema = db->schema();
+  dims_.sample_bits = sample_bits;
+  dims_.table_features = schema.num_tables();
+  switch (variant) {
+    case FeatureVariant::kNoSamples:
+      break;
+    case FeatureVariant::kSampleCounts:
+      dims_.table_features += 1;
+      break;
+    case FeatureVariant::kBitmaps:
+    case FeatureVariant::kPredicateBitmaps:
+      dims_.table_features += static_cast<int64_t>(sample_bits);
+      break;
+  }
+  dims_.join_features = std::max(1, schema.num_join_edges());
+  dims_.predicate_features =
+      schema.num_predicate_columns() + kNumCompareOps + 1;
+  if (variant == FeatureVariant::kPredicateBitmaps) {
+    // Section 5 "More bitmaps": each predicate element carries its own
+    // positional bitmap in addition to the per-table conjunction bitmap.
+    dims_.predicate_features += static_cast<int64_t>(sample_bits);
+  }
+}
+
+void Featurizer::FillTableRow(const LabeledQuery& labeled, size_t table_index,
+                              float* out) const {
+  const TableId table = labeled.query.tables[table_index];
+  out[table] = 1.0f;
+  const int64_t base = db_->schema().num_tables();
+  switch (variant_) {
+    case FeatureVariant::kNoSamples:
+      break;
+    case FeatureVariant::kSampleCounts: {
+      LC_CHECK_LT(table_index, labeled.sample_counts.size())
+          << "query lacks sample annotations";
+      out[base] = static_cast<float>(labeled.sample_counts[table_index]) /
+                  static_cast<float>(sample_bits_);
+      break;
+    }
+    case FeatureVariant::kBitmaps:
+    case FeatureVariant::kPredicateBitmaps: {
+      LC_CHECK_LT(table_index, labeled.sample_bitmaps.size())
+          << "query lacks sample annotations";
+      const BitVector& bitmap = labeled.sample_bitmaps[table_index];
+      LC_CHECK_EQ(bitmap.size(), sample_bits_)
+          << "bitmap length does not match featurizer configuration";
+      for (size_t bit = 0; bit < sample_bits_; ++bit) {
+        if (bitmap.Test(bit)) out[base + static_cast<int64_t>(bit)] = 1.0f;
+      }
+      break;
+    }
+  }
+}
+
+void Featurizer::FillJoinRow(int edge_index, float* out) const {
+  LC_DCHECK(edge_index >= 0 && edge_index < db_->schema().num_join_edges());
+  out[edge_index] = 1.0f;
+}
+
+float Featurizer::NormalizeLiteral(TableId table, int column,
+                                   int32_t literal) const {
+  const Column& data = db_->table(table).column(column);
+  const double lo = data.min_value();
+  const double hi = data.max_value();
+  if (hi <= lo) return 0.5f;
+  const double scaled = (static_cast<double>(literal) - lo) / (hi - lo);
+  return static_cast<float>(std::clamp(scaled, 0.0, 1.0));
+}
+
+void Featurizer::FillPredicateRow(const LabeledQuery& labeled,
+                                  size_t predicate_index, float* out) const {
+  const Predicate& predicate = labeled.query.predicates[predicate_index];
+  const Schema& schema = db_->schema();
+  const int column_index =
+      schema.PredicateColumnIndex(predicate.table, predicate.column);
+  LC_CHECK_GE(column_index, 0) << "predicate on a key column";
+  out[column_index] = 1.0f;
+  out[schema.num_predicate_columns() + static_cast<int>(predicate.op)] = 1.0f;
+  out[schema.num_predicate_columns() + kNumCompareOps] =
+      NormalizeLiteral(predicate.table, predicate.column, predicate.literal);
+  if (variant_ == FeatureVariant::kPredicateBitmaps) {
+    LC_CHECK_LT(predicate_index, labeled.predicate_bitmaps.size())
+        << "query lacks per-predicate bitmap annotations";
+    const BitVector& bitmap = labeled.predicate_bitmaps[predicate_index];
+    LC_CHECK_EQ(bitmap.size(), sample_bits_);
+    const int64_t base = schema.num_predicate_columns() + kNumCompareOps + 1;
+    for (size_t bit = 0; bit < sample_bits_; ++bit) {
+      if (bitmap.Test(bit)) out[base + static_cast<int64_t>(bit)] = 1.0f;
+    }
+  }
+}
+
+MscnBatch Featurizer::MakeBatch(
+    const std::vector<const LabeledQuery*>& queries,
+    const TargetNormalizer* normalizer) const {
+  LC_CHECK(!queries.empty());
+  MscnBatch batch;
+  batch.size = static_cast<int64_t>(queries.size());
+
+  // Padded set sizes: the batch's longest set, at least 1 so shapes stay
+  // valid (all-zero masks mark genuinely empty sets).
+  for (const LabeledQuery* labeled : queries) {
+    batch.table_set_size = std::max(
+        batch.table_set_size,
+        static_cast<int64_t>(labeled->query.tables.size()));
+    batch.join_set_size =
+        std::max(batch.join_set_size,
+                 static_cast<int64_t>(labeled->query.joins.size()));
+    batch.predicate_set_size = std::max(
+        batch.predicate_set_size,
+        static_cast<int64_t>(labeled->query.predicates.size()));
+  }
+  batch.table_set_size = std::max<int64_t>(1, batch.table_set_size);
+  batch.join_set_size = std::max<int64_t>(1, batch.join_set_size);
+  batch.predicate_set_size = std::max<int64_t>(1, batch.predicate_set_size);
+
+  batch.tables =
+      Tensor({batch.size * batch.table_set_size, dims_.table_features});
+  batch.table_mask = Tensor({batch.size * batch.table_set_size});
+  batch.joins =
+      Tensor({batch.size * batch.join_set_size, dims_.join_features});
+  batch.join_mask = Tensor({batch.size * batch.join_set_size});
+  batch.predicates = Tensor(
+      {batch.size * batch.predicate_set_size, dims_.predicate_features});
+  batch.predicate_mask = Tensor({batch.size * batch.predicate_set_size});
+  batch.targets = Tensor({batch.size, 1});
+
+  for (int64_t q = 0; q < batch.size; ++q) {
+    const LabeledQuery& labeled = *queries[static_cast<size_t>(q)];
+
+    for (size_t t = 0; t < labeled.query.tables.size(); ++t) {
+      const int64_t row = q * batch.table_set_size + static_cast<int64_t>(t);
+      FillTableRow(labeled, t,
+                   batch.tables.data() + row * dims_.table_features);
+      batch.table_mask[row] = 1.0f;
+    }
+    for (size_t j = 0; j < labeled.query.joins.size(); ++j) {
+      const int64_t row = q * batch.join_set_size + static_cast<int64_t>(j);
+      FillJoinRow(labeled.query.joins[j],
+                  batch.joins.data() + row * dims_.join_features);
+      batch.join_mask[row] = 1.0f;
+    }
+    for (size_t p = 0; p < labeled.query.predicates.size(); ++p) {
+      const int64_t row =
+          q * batch.predicate_set_size + static_cast<int64_t>(p);
+      FillPredicateRow(
+          labeled, p,
+          batch.predicates.data() + row * dims_.predicate_features);
+      batch.predicate_mask[row] = 1.0f;
+    }
+    if (normalizer != nullptr) {
+      batch.targets[q] = normalizer->Normalize(labeled.cardinality);
+    }
+  }
+  return batch;
+}
+
+MscnBatch Featurizer::MakeBatch(const Workload& workload, size_t begin,
+                                size_t end,
+                                const TargetNormalizer* normalizer) const {
+  LC_CHECK(begin < end && end <= workload.size());
+  std::vector<const LabeledQuery*> queries;
+  queries.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    queries.push_back(&workload.queries[i]);
+  }
+  return MakeBatch(queries, normalizer);
+}
+
+}  // namespace lc

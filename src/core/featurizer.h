@@ -1,0 +1,95 @@
+// Set-based query featurization (paper sections 3.1, 3.4 and Figure 2).
+//
+// A query becomes three sets of feature vectors:
+//   table set     one-hot table id (+ sample count or bitmap, per variant),
+//   join set      one-hot join-edge id,
+//   predicate set one-hot column id ++ one-hot operator ++ literal
+//                 normalized to [0,1] with the column's min/max.
+// Mini-batches pad each set to the batch's longest set with zero vectors and
+// carry 0/1 masks so the model's average pooling ignores the padding
+// (section 3.2).
+
+#ifndef LC_CORE_FEATURIZER_H_
+#define LC_CORE_FEATURIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/normalizer.h"
+#include "db/database.h"
+#include "nn/tensor.h"
+#include "workload/workload.h"
+
+namespace lc {
+
+/// Feature-vector widths; fixed by the schema, the variant and the bitmap
+/// length.
+struct FeatureDims {
+  int64_t table_features = 0;
+  int64_t join_features = 0;
+  int64_t predicate_features = 0;
+  size_t sample_bits = 0;  // Bitmap length when variant == kBitmaps.
+
+  bool operator==(const FeatureDims& other) const = default;
+};
+
+/// One featurized mini-batch, ready for MscnModel::Forward.
+struct MscnBatch {
+  int64_t size = 0;            // Number of queries.
+  int64_t table_set_size = 0;  // Padded set sizes for this batch.
+  int64_t join_set_size = 0;
+  int64_t predicate_set_size = 0;
+
+  Tensor tables;           // (size * table_set_size, table_features).
+  Tensor table_mask;       // (size * table_set_size).
+  Tensor joins;            // (size * join_set_size, join_features).
+  Tensor join_mask;        // (size * join_set_size).
+  Tensor predicates;       // (size * predicate_set_size, predicate_features).
+  Tensor predicate_mask;   // (size * predicate_set_size).
+  Tensor targets;          // (size, 1) normalized cardinalities (or zeros
+                           // when built for inference).
+};
+
+/// Turns labelled queries into model inputs. Holds only schema/statistics
+/// references; the database must outlive the featurizer.
+class Featurizer {
+ public:
+  /// `sample_bits` is the bitmap length the workloads were annotated with;
+  /// ignored unless variant == kBitmaps (but kSampleCounts still normalizes
+  /// counts by it).
+  Featurizer(const Database* db, FeatureVariant variant, size_t sample_bits);
+
+  const FeatureDims& dims() const { return dims_; }
+  FeatureVariant variant() const { return variant_; }
+
+  /// Featurizes `queries[begin..end)` into one padded batch. When
+  /// `normalizer` is non-null the targets tensor holds normalized true
+  /// cardinalities (training); otherwise it is zero (inference).
+  MscnBatch MakeBatch(const std::vector<const LabeledQuery*>& queries,
+                      const TargetNormalizer* normalizer) const;
+
+  /// Convenience over a whole workload slice.
+  MscnBatch MakeBatch(const Workload& workload, size_t begin, size_t end,
+                      const TargetNormalizer* normalizer) const;
+
+  /// Normalized literal value for (table, column, literal); exposed for
+  /// tests.
+  float NormalizeLiteral(TableId table, int column, int32_t literal) const;
+
+ private:
+  void FillTableRow(const LabeledQuery& query, size_t table_index,
+                    float* out) const;
+  void FillJoinRow(int edge_index, float* out) const;
+  void FillPredicateRow(const LabeledQuery& labeled, size_t predicate_index,
+                        float* out) const;
+
+  const Database* db_;
+  FeatureVariant variant_;
+  size_t sample_bits_;
+  FeatureDims dims_;
+};
+
+}  // namespace lc
+
+#endif  // LC_CORE_FEATURIZER_H_

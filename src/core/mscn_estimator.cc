@@ -1,0 +1,42 @@
+#include "core/mscn_estimator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lc {
+
+MscnEstimator::MscnEstimator(const Featurizer* featurizer, MscnModel* model,
+                             std::string display_name)
+    : featurizer_(featurizer),
+      model_(model),
+      display_name_(std::move(display_name)) {
+  LC_CHECK(featurizer != nullptr);
+  LC_CHECK(model != nullptr);
+  LC_CHECK(featurizer->dims() == model->dims())
+      << "featurizer and model disagree on feature dimensions";
+}
+
+double MscnEstimator::Estimate(const LabeledQuery& query) {
+  const MscnBatch batch = featurizer_->MakeBatch({&query}, nullptr);
+  return model_->Predict(batch)[0];
+}
+
+std::vector<double> MscnEstimator::EstimateAll(
+    const std::vector<const LabeledQuery*>& queries, size_t batch_size) {
+  LC_CHECK_GT(batch_size, 0u);
+  std::vector<double> estimates;
+  estimates.reserve(queries.size());
+  for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
+    const size_t end = std::min(queries.size(), begin + batch_size);
+    const std::vector<const LabeledQuery*> slice(queries.begin() + begin,
+                                                 queries.begin() + end);
+    const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
+    for (double estimate : model_->Predict(batch)) {
+      estimates.push_back(estimate);
+    }
+  }
+  return estimates;
+}
+
+}  // namespace lc

@@ -1,0 +1,40 @@
+// MSCN as a drop-in CardinalityEstimator: featurize, run the model, invert
+// the target normalization (paper section 3.5). The estimator consumes the
+// query's precomputed sample annotations — the runtime-sampling step of the
+// paper's inference pipeline.
+
+#ifndef LC_CORE_MSCN_ESTIMATOR_H_
+#define LC_CORE_MSCN_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/featurizer.h"
+#include "core/model.h"
+#include "est/estimator.h"
+
+namespace lc {
+
+class MscnEstimator : public CardinalityEstimator {
+ public:
+  /// Takes ownership of nothing: featurizer and model must outlive the
+  /// estimator.
+  MscnEstimator(const Featurizer* featurizer, MscnModel* model,
+                std::string display_name = "MSCN");
+
+  std::string name() const override { return display_name_; }
+  double Estimate(const LabeledQuery& query) override;
+
+  /// Batched estimation (much faster than per-query calls).
+  std::vector<double> EstimateAll(
+      const std::vector<const LabeledQuery*>& queries, size_t batch_size);
+
+ private:
+  const Featurizer* featurizer_;
+  MscnModel* model_;
+  std::string display_name_;
+};
+
+}  // namespace lc
+
+#endif  // LC_CORE_MSCN_ESTIMATOR_H_

@@ -1,0 +1,49 @@
+// Target normalization (paper section 3.2): cardinalities are mapped to
+// [0, 1] by taking logarithms and min-max scaling with bounds derived from
+// the training set. The mapping is invertible, so model outputs convert back
+// to row counts.
+
+#ifndef LC_CORE_NORMALIZER_H_
+#define LC_CORE_NORMALIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace lc {
+
+class TargetNormalizer {
+ public:
+  /// Identity-ish placeholder; use FromCardinalities for real bounds.
+  TargetNormalizer() = default;
+  TargetNormalizer(double min_log, double max_log);
+
+  /// Derives bounds from the training cardinalities (each clamped to >= 1).
+  static TargetNormalizer FromCardinalities(
+      const std::vector<int64_t>& cardinalities);
+
+  /// log-space min-max normalization into [0, 1]; inputs are clamped into
+  /// the training range, exactly like the reference implementation.
+  float Normalize(int64_t cardinality) const;
+
+  /// Inverse mapping from a model output in [0, 1] to a row count.
+  double Denormalize(float normalized) const;
+
+  double min_log() const { return min_log_; }
+  double max_log() const { return max_log_; }
+  /// max_log - min_log: the scale the q-error losses need.
+  float LogRange() const;
+
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  double min_log_ = 0.0;
+  double max_log_ = 1.0;
+};
+
+}  // namespace lc
+
+#endif  // LC_CORE_NORMALIZER_H_

@@ -1,0 +1,80 @@
+// Training loop (paper sections 3.2, 3.5): mini-batch Adam on the chosen
+// objective, with per-epoch validation mean q-error tracking — the curve of
+// the paper's Figure 6.
+
+#ifndef LC_CORE_TRAINER_H_
+#define LC_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/featurizer.h"
+#include "core/model.h"
+
+namespace lc {
+
+/// One row of the Figure-6 convergence curve.
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double validation_mean_qerror = 0.0;
+  double seconds = 0.0;
+};
+
+struct TrainingHistory {
+  std::vector<EpochStats> epochs;
+  double total_seconds = 0.0;
+};
+
+/// Deterministic train/validation split (by shuffled index).
+struct TrainValSplit {
+  std::vector<const LabeledQuery*> train;
+  std::vector<const LabeledQuery*> validation;
+};
+TrainValSplit SplitWorkload(const Workload& workload,
+                            double validation_fraction, uint64_t seed);
+
+/// Trains MSCN models over a fixed featurizer.
+class Trainer {
+ public:
+  Trainer(const Featurizer* featurizer, MscnConfig config);
+
+  /// Trains a fresh model: derives the target normalizer from `train`,
+  /// initializes weights from config.seed, runs config.epochs epochs of
+  /// mini-batch Adam, and (when `history` is non-null) records per-epoch
+  /// train loss and validation mean q-error.
+  MscnModel Train(const std::vector<const LabeledQuery*>& train,
+                  const std::vector<const LabeledQuery*>& validation,
+                  TrainingHistory* history);
+
+  /// Incremental training (paper section 5, "Updates"): continues fitting
+  /// an existing model on new labelled queries for `epochs` epochs without
+  /// re-deriving the normalizer (its bounds stay fixed, so the encoding is
+  /// unchanged; cardinalities beyond the original range are clamped).
+  /// The Adam state is fresh, as after a warm restart.
+  void ContinueTraining(MscnModel* model,
+                        const std::vector<const LabeledQuery*>& train,
+                        const std::vector<const LabeledQuery*>& validation,
+                        int epochs, TrainingHistory* history);
+
+  /// Mean q-error of `model` on `queries` (denormalized predictions vs true
+  /// cardinalities).
+  double EvaluateMeanQError(MscnModel* model,
+                            const std::vector<const LabeledQuery*>& queries)
+      const;
+
+  const MscnConfig& config() const { return config_; }
+
+ private:
+  // Shared mini-batch Adam loop used by Train and ContinueTraining.
+  void RunEpochs(MscnModel* model,
+                 const std::vector<const LabeledQuery*>& train,
+                 const std::vector<const LabeledQuery*>& validation,
+                 int epochs, uint64_t shuffle_seed, TrainingHistory* history);
+
+  const Featurizer* featurizer_;
+  MscnConfig config_;
+};
+
+}  // namespace lc
+
+#endif  // LC_CORE_TRAINER_H_

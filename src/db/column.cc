@@ -1,0 +1,40 @@
+#include "db/column.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lc {
+
+void Column::Finalize() {
+  if (finalized_) return;
+  Stats stats;
+  std::unordered_set<int32_t> distinct;
+  distinct.reserve(values_.size() / 4 + 8);
+  bool first = true;
+  for (int32_t value : values_) {
+    if (value == kNullValue) {
+      ++stats.null_count;
+      continue;
+    }
+    if (first) {
+      stats.min_value = value;
+      stats.max_value = value;
+      first = false;
+    } else {
+      stats.min_value = std::min(stats.min_value, value);
+      stats.max_value = std::max(stats.max_value, value);
+    }
+    distinct.insert(value);
+  }
+  stats.distinct_count = static_cast<int64_t>(distinct.size());
+  stats_ = stats;
+  finalized_ = true;
+}
+
+double Column::null_fraction() const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(null_count()) /
+         static_cast<double>(values_.size());
+}
+
+}  // namespace lc

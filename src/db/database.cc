@@ -1,0 +1,34 @@
+#include "db/database.h"
+
+#include "util/check.h"
+
+namespace lc {
+
+Database::Database(Schema schema)
+    : schema_(std::make_unique<Schema>(std::move(schema))) {
+  tables_.reserve(static_cast<size_t>(schema_->num_tables()));
+  for (TableId id = 0; id < schema_->num_tables(); ++id) {
+    tables_.emplace_back(&schema_->table(id));
+  }
+}
+
+Table& Database::table(TableId id) {
+  LC_CHECK(id >= 0 && id < schema_->num_tables());
+  return tables_[static_cast<size_t>(id)];
+}
+
+const Table& Database::table(TableId id) const {
+  return const_cast<Database*>(this)->table(id);
+}
+
+void Database::Finalize() {
+  for (Table& table : tables_) table.Finalize();
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const Table& table : tables_) total += table.num_rows();
+  return total;
+}
+
+}  // namespace lc

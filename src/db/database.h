@@ -1,0 +1,43 @@
+// The immutable in-memory database snapshot: a Schema plus one Table per
+// schema table. All estimators and the exact executor read from this.
+
+#ifndef LC_DB_DATABASE_H_
+#define LC_DB_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/table.h"
+
+namespace lc {
+
+/// Owns the schema and the table data. Move-only.
+class Database {
+ public:
+  explicit Database(Schema schema);
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const Schema& schema() const { return *schema_; }
+  Table& table(TableId id);
+  const Table& table(TableId id) const;
+
+  /// Finalizes every table (statistics become valid).
+  void Finalize();
+
+  /// Sum of all table row counts.
+  size_t TotalRows() const;
+
+ private:
+  // unique_ptr keeps TableDef pointers inside Table stable across moves.
+  std::unique_ptr<Schema> schema_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace lc
+
+#endif  // LC_DB_DATABASE_H_

@@ -1,0 +1,120 @@
+#include "db/schema.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lc {
+
+int TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TableId JoinEdgeDef::Other(TableId table) const {
+  LC_CHECK(Touches(table));
+  return table == left_table ? right_table : left_table;
+}
+
+int JoinEdgeDef::ColumnOf(TableId table) const {
+  LC_CHECK(Touches(table));
+  return table == left_table ? left_column : right_column;
+}
+
+TableId Schema::AddTable(TableDef def) {
+  LC_CHECK(!def.name.empty());
+  LC_CHECK(!def.columns.empty());
+  if (def.primary_key >= 0) {
+    LC_CHECK_LT(def.primary_key, static_cast<int>(def.columns.size()));
+    LC_CHECK(def.columns[static_cast<size_t>(def.primary_key)].is_key)
+        << "primary key column must be marked is_key";
+  }
+  tables_.push_back(std::move(def));
+  RebuildPredicateColumns();
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+void Schema::AddJoinEdge(TableId left_table, const std::string& left_column,
+                         TableId right_table,
+                         const std::string& right_column) {
+  LC_CHECK(left_table >= 0 && left_table < num_tables());
+  LC_CHECK(right_table >= 0 && right_table < num_tables());
+  LC_CHECK_NE(left_table, right_table) << "self joins are not modelled";
+  JoinEdgeDef edge;
+  edge.left_table = left_table;
+  edge.left_column = table(left_table).FindColumn(left_column);
+  edge.right_table = right_table;
+  edge.right_column = table(right_table).FindColumn(right_column);
+  LC_CHECK_GE(edge.left_column, 0) << "unknown column" << left_column;
+  LC_CHECK_GE(edge.right_column, 0) << "unknown column" << right_column;
+  LC_CHECK(table(left_table).columns[(size_t)edge.left_column].is_key);
+  LC_CHECK(table(right_table).columns[(size_t)edge.right_column].is_key);
+  edges_.push_back(edge);
+}
+
+const TableDef& Schema::table(TableId id) const {
+  LC_CHECK(id >= 0 && id < num_tables());
+  return tables_[static_cast<size_t>(id)];
+}
+
+StatusOr<TableId> Schema::FindTable(const std::string& name) const {
+  for (int i = 0; i < num_tables(); ++i) {
+    if (tables_[static_cast<size_t>(i)].name == name) {
+      return static_cast<TableId>(i);
+    }
+  }
+  return Status::NotFound(Format("no table named '%s'", name.c_str()));
+}
+
+const JoinEdgeDef& Schema::join_edge(int index) const {
+  LC_CHECK(index >= 0 && index < num_join_edges());
+  return edges_[static_cast<size_t>(index)];
+}
+
+std::vector<int> Schema::EdgesForTable(TableId table) const {
+  std::vector<int> incident;
+  for (int i = 0; i < num_join_edges(); ++i) {
+    if (edges_[static_cast<size_t>(i)].Touches(table)) incident.push_back(i);
+  }
+  return incident;
+}
+
+void Schema::RebuildPredicateColumns() {
+  predicate_columns_.clear();
+  predicate_index_.assign(tables_.size(), {});
+  for (TableId t = 0; t < num_tables(); ++t) {
+    const TableDef& def = tables_[static_cast<size_t>(t)];
+    predicate_index_[static_cast<size_t>(t)].assign(def.columns.size(), -1);
+    for (int c = 0; c < static_cast<int>(def.columns.size()); ++c) {
+      if (def.columns[static_cast<size_t>(c)].is_key) continue;
+      predicate_index_[static_cast<size_t>(t)][static_cast<size_t>(c)] =
+          static_cast<int>(predicate_columns_.size());
+      predicate_columns_.push_back(PredicateColumnRef{t, c});
+    }
+  }
+}
+
+int Schema::num_predicate_columns() const {
+  return static_cast<int>(predicate_columns_.size());
+}
+
+int Schema::PredicateColumnIndex(TableId table, int column) const {
+  LC_CHECK(table >= 0 && table < num_tables());
+  const auto& per_table = predicate_index_[static_cast<size_t>(table)];
+  LC_CHECK(column >= 0 && column < static_cast<int>(per_table.size()));
+  return per_table[static_cast<size_t>(column)];
+}
+
+Schema::PredicateColumnRef Schema::PredicateColumnAt(int index) const {
+  LC_CHECK(index >= 0 && index < num_predicate_columns());
+  return predicate_columns_[static_cast<size_t>(index)];
+}
+
+std::string Schema::QualifiedColumnName(TableId table_id, int column) const {
+  const TableDef& def = table(table_id);
+  LC_CHECK(column >= 0 && column < static_cast<int>(def.columns.size()));
+  return def.name + "." + def.columns[static_cast<size_t>(column)].name;
+}
+
+}  // namespace lc

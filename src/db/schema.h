@@ -1,0 +1,109 @@
+// Relational schema metadata: tables, columns, primary keys and the PK-FK
+// join edges that the query generator (section 3.3 of the paper) walks. The
+// schema also provides the stable integer ids that the featurizer turns into
+// one-hot vectors: table ids, join-edge ids and "predicate column" ids (the
+// non-key columns predicates may touch).
+
+#ifndef LC_DB_SCHEMA_H_
+#define LC_DB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lc {
+
+using TableId = int32_t;
+
+/// Column metadata. All stored values are 32-bit integers (dictionary codes
+/// or numbers); `is_key` columns are join/identifier columns that never
+/// receive predicates.
+struct ColumnDef {
+  std::string name;
+  bool is_key = false;
+};
+
+/// Table metadata.
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  int primary_key = -1;  // Column index of the PK, or -1.
+
+  /// Index of the named column, or -1.
+  int FindColumn(const std::string& column_name) const;
+};
+
+/// An equi-join edge `left.left_column = right.right_column` between two
+/// tables (in this reproduction, always PK = FK).
+struct JoinEdgeDef {
+  TableId left_table = -1;
+  int left_column = -1;
+  TableId right_table = -1;
+  int right_column = -1;
+
+  /// True if `table` participates in this edge.
+  bool Touches(TableId table) const {
+    return table == left_table || table == right_table;
+  }
+  /// The table on the opposite side of `table` (which must participate).
+  TableId Other(TableId table) const;
+  /// The join column index on `table`'s side (which must participate).
+  int ColumnOf(TableId table) const;
+};
+
+/// Immutable-after-construction schema: add all tables and edges, then use.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a table; returns its id.
+  TableId AddTable(TableDef def);
+
+  /// Registers a join edge between existing tables/columns.
+  void AddJoinEdge(TableId left_table, const std::string& left_column,
+                   TableId right_table, const std::string& right_column);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const TableDef& table(TableId id) const;
+  StatusOr<TableId> FindTable(const std::string& name) const;
+
+  int num_join_edges() const { return static_cast<int>(edges_.size()); }
+  const JoinEdgeDef& join_edge(int index) const;
+  const std::vector<JoinEdgeDef>& join_edges() const { return edges_; }
+
+  /// Indices of the edges incident to `table`.
+  std::vector<int> EdgesForTable(TableId table) const;
+
+  /// Number of distinct (table, non-key column) pairs; the size of the
+  /// predicate-column one-hot vector.
+  int num_predicate_columns() const;
+
+  /// Stable index in [0, num_predicate_columns()) for a non-key column;
+  /// -1 for key columns.
+  int PredicateColumnIndex(TableId table, int column) const;
+
+  /// Inverse of PredicateColumnIndex.
+  struct PredicateColumnRef {
+    TableId table;
+    int column;
+  };
+  PredicateColumnRef PredicateColumnAt(int index) const;
+
+  /// "table.column" display name.
+  std::string QualifiedColumnName(TableId table, int column) const;
+
+ private:
+  void RebuildPredicateColumns();
+
+  std::vector<TableDef> tables_;
+  std::vector<JoinEdgeDef> edges_;
+  std::vector<PredicateColumnRef> predicate_columns_;
+  // predicate_index_[table][column] or -1.
+  std::vector<std::vector<int>> predicate_index_;
+};
+
+}  // namespace lc
+
+#endif  // LC_DB_SCHEMA_H_

@@ -1,0 +1,33 @@
+#include "db/table.h"
+
+#include "util/check.h"
+
+namespace lc {
+
+Table::Table(const TableDef* def) : def_(def) {
+  LC_CHECK(def != nullptr);
+  columns_.resize(def->columns.size());
+}
+
+Column& Table::column(int index) {
+  LC_CHECK(index >= 0 && index < num_columns());
+  return columns_[static_cast<size_t>(index)];
+}
+
+const Column& Table::column(int index) const {
+  return const_cast<Table*>(this)->column(index);
+}
+
+size_t Table::num_rows() const {
+  return columns_.empty() ? 0 : columns_[0].size();
+}
+
+void Table::Finalize() {
+  const size_t rows = num_rows();
+  for (Column& column : columns_) {
+    LC_CHECK_EQ(column.size(), rows) << "ragged table" << def_->name;
+    column.Finalize();
+  }
+}
+
+}  // namespace lc

@@ -1,0 +1,37 @@
+// A table: one Column per ColumnDef, equal row counts.
+
+#ifndef LC_DB_TABLE_H_
+#define LC_DB_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/column.h"
+#include "db/schema.h"
+
+namespace lc {
+
+/// Column-store table. Populate the columns (all to the same length), then
+/// call Finalize() before reading statistics.
+class Table {
+ public:
+  explicit Table(const TableDef* def);
+
+  const TableDef& def() const { return *def_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  Column& column(int index);
+  const Column& column(int index) const;
+
+  size_t num_rows() const;
+
+  /// Finalizes all columns and checks they have equal lengths.
+  void Finalize();
+
+ private:
+  const TableDef* def_;  // Owned by the Schema, which outlives the table.
+  std::vector<Column> columns_;
+};
+
+}  // namespace lc
+
+#endif  // LC_DB_TABLE_H_

@@ -1,0 +1,31 @@
+// The estimator interface every competitor implements (paper section 4):
+// PostgreSQL-style statistics, Random Sampling, Index-Based Join Sampling,
+// and MSCN itself (core/mscn_estimator.h).
+
+#ifndef LC_EST_ESTIMATOR_H_
+#define LC_EST_ESTIMATOR_H_
+
+#include <string>
+
+#include "workload/workload.h"
+
+namespace lc {
+
+/// A cardinality estimator. Estimate() receives the labelled query so that
+/// sample-based estimators can reuse the workload's precomputed qualifying-
+/// sample annotations (all estimators share one sample set, as in the
+/// paper's section 4.2); the true cardinality label is never read.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Display name for report tables ("PostgreSQL", "MSCN", ...).
+  virtual std::string name() const = 0;
+
+  /// Estimated result cardinality (rows; >= 0).
+  virtual double Estimate(const LabeledQuery& query) = 0;
+};
+
+}  // namespace lc
+
+#endif  // LC_EST_ESTIMATOR_H_

@@ -1,0 +1,180 @@
+#include "est/ibjs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "db/column.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lc {
+
+IbjsEstimator::IbjsEstimator(const Database* db, const SampleSet* samples,
+                             IbjsConfig config)
+    : db_(db),
+      samples_(samples),
+      config_(config),
+      indexes_(db),
+      fallback_(db, samples) {
+  LC_CHECK(db != nullptr);
+  LC_CHECK(samples != nullptr);
+}
+
+TableId IbjsEstimator::PickDriver(const Query& query) const {
+  TableId best = query.tables[0];
+  double best_selectivity = 2.0;
+  for (TableId table : query.tables) {
+    const double selectivity = fallback_.TableSelectivity(query, table);
+    if (selectivity < best_selectivity) {
+      best_selectivity = selectivity;
+      best = table;
+    }
+  }
+  return best;
+}
+
+double IbjsEstimator::Estimate(const LabeledQuery& labeled) {
+  const Query& query = labeled.query;
+  const Schema& schema = db_->schema();
+
+  if (query.num_tables() == 1) {
+    // Pure base-table estimation: identical to RS by construction.
+    return fallback_.Estimate(labeled);
+  }
+
+  // Enumeration order: BFS over the join tree from the most selective table.
+  const TableId driver = PickDriver(query);
+  struct Step {
+    TableId table;
+    int edge = -1;          // Edge to `via` (schema index); -1 for driver.
+    TableId via = -1;       // Already-joined table the edge connects to.
+  };
+  std::vector<Step> order = {{driver, -1, -1}};
+  std::vector<TableId> joined = {driver};
+  while (joined.size() < query.tables.size()) {
+    bool advanced = false;
+    for (int join : query.joins) {
+      const JoinEdgeDef& edge = schema.join_edge(join);
+      const bool has_left =
+          std::find(joined.begin(), joined.end(), edge.left_table) !=
+          joined.end();
+      const bool has_right =
+          std::find(joined.begin(), joined.end(), edge.right_table) !=
+          joined.end();
+      if (has_left == has_right) continue;
+      const TableId next = has_left ? edge.right_table : edge.left_table;
+      const TableId via = has_left ? edge.left_table : edge.right_table;
+      order.push_back({next, join, via});
+      joined.push_back(next);
+      advanced = true;
+    }
+    LC_CHECK(advanced) << "query join graph is disconnected";
+  }
+
+  // Working set: row assignments for the tables joined so far.
+  const TableSample& driver_sample = samples_->sample(driver);
+  const std::vector<Predicate> driver_predicates =
+      query.PredicatesFor(driver);
+  std::vector<std::vector<uint32_t>> working;  // [tuple][step index] -> row.
+  for (size_t i = 0; i < driver_sample.size(); ++i) {
+    bool matches = true;
+    for (const Predicate& predicate : driver_predicates) {
+      if (!predicate.Matches(driver_sample.raw(predicate.column, i))) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) working.push_back({driver_sample.row(i)});
+  }
+
+  if (working.empty()) {
+    // 0-tuple situation at the driver: full RS fallback.
+    return fallback_.Estimate(labeled);
+  }
+
+  // Each driver sample tuple represents |T|/n base rows.
+  double estimate = static_cast<double>(working.size()) /
+                    static_cast<double>(driver_sample.size()) *
+                    static_cast<double>(db_->table(driver).num_rows());
+
+  Rng rng(config_.seed);
+  std::unordered_map<TableId, size_t> step_of = {{driver, 0}};
+
+  for (size_t level = 1; level < order.size(); ++level) {
+    const Step& step = order[level];
+    const JoinEdgeDef& edge = schema.join_edge(step.edge);
+    const Column& via_column =
+        db_->table(step.via).column(edge.ColumnOf(step.via));
+    const HashIndex& index =
+        indexes_.Get(step.table, edge.ColumnOf(step.table));
+    const Table& next_table = db_->table(step.table);
+    const std::vector<Predicate> predicates = query.PredicatesFor(step.table);
+    const size_t via_step = step_of.at(step.via);
+
+    std::vector<std::vector<uint32_t>> next_working;
+    size_t total_matches = 0;
+    for (const std::vector<uint32_t>& tuple : working) {
+      const int32_t key = via_column.raw(tuple[via_step]);
+      if (key == kNullValue) continue;
+      for (uint32_t row : index.Lookup(key)) {
+        bool matches = true;
+        for (const Predicate& predicate : predicates) {
+          if (!predicate.Matches(
+                  next_table.column(predicate.column).raw(row))) {
+            matches = false;
+            break;
+          }
+        }
+        if (!matches) continue;
+        ++total_matches;
+        std::vector<uint32_t> extended = tuple;
+        extended.push_back(row);
+        next_working.push_back(std::move(extended));
+      }
+    }
+
+    if (total_matches == 0) {
+      // Join-level 0-tuple situation: extrapolate the remaining levels with
+      // the RS independence model (sample selectivity x 1/max(nd) per edge).
+      double tail = 1.0;
+      for (size_t rest = level; rest < order.size(); ++rest) {
+        const Step& pending = order[rest];
+        tail *= static_cast<double>(db_->table(pending.table).num_rows()) *
+                fallback_.TableSelectivity(query, pending.table);
+        const JoinEdgeDef& pending_edge = schema.join_edge(pending.edge);
+        const Column& left = db_->table(pending_edge.left_table)
+                                 .column(pending_edge.left_column);
+        const Column& right = db_->table(pending_edge.right_table)
+                                  .column(pending_edge.right_column);
+        const double nd = static_cast<double>(std::max<int64_t>(
+            1,
+            std::max(left.distinct_count(), right.distinct_count())));
+        tail /= nd;
+      }
+      return std::max(1.0, estimate * tail);
+    }
+
+    // Extrapolate: each working tuple fans out to matches/|working| rows.
+    estimate *= static_cast<double>(total_matches) /
+                static_cast<double>(working.size());
+
+    // Cap the working set (budget); uniform subsample keeps it unbiased.
+    if (next_working.size() > config_.max_working_set) {
+      const std::vector<size_t> keep = rng.SampleWithoutReplacement(
+          next_working.size(), config_.max_working_set);
+      std::vector<std::vector<uint32_t>> capped;
+      capped.reserve(config_.max_working_set);
+      for (size_t index_to_keep : keep) {
+        capped.push_back(std::move(next_working[index_to_keep]));
+      }
+      next_working = std::move(capped);
+    }
+    working = std::move(next_working);
+    step_of[step.table] = level;
+  }
+
+  return std::max(1.0, estimate);
+}
+
+}  // namespace lc

@@ -1,0 +1,51 @@
+// Index-Based Join Sampling (Leis et al., CIDR'17) — the paper's strongest
+// sampling competitor. Qualifying tuples of the shared base-table sample are
+// probed through hash join indexes table by table along the query's join
+// tree; the result cardinality is extrapolated from the per-level match
+// ratios. When the working set runs empty (the 0-tuple problem of the
+// paper's section 4.2), the implementation falls back to the same
+// sample/statistics chain as Random Sampling, matching the paper's setup
+// ("Our IBJS implementation uses the same fallback mechanism as RS").
+
+#ifndef LC_EST_IBJS_H_
+#define LC_EST_IBJS_H_
+
+#include <memory>
+
+#include "est/estimator.h"
+#include "est/random_sampling.h"
+#include "exec/index.h"
+#include "sample/sample.h"
+
+namespace lc {
+
+struct IbjsConfig {
+  /// Maximum working-set size per level (the paper's setups keep this in
+  /// the order of the base sample size).
+  size_t max_working_set = 1000;
+  uint64_t seed = 0x1b15;  // For working-set subsampling.
+};
+
+class IbjsEstimator : public CardinalityEstimator {
+ public:
+  IbjsEstimator(const Database* db, const SampleSet* samples,
+                IbjsConfig config = {});
+
+  std::string name() const override { return "IB Join Samp."; }
+  double Estimate(const LabeledQuery& query) override;
+
+ private:
+  /// The table whose sample-selectivity is lowest (the most selective
+  /// predicates): IBJS starts enumeration there.
+  TableId PickDriver(const Query& query) const;
+
+  const Database* db_;
+  const SampleSet* samples_;
+  IbjsConfig config_;
+  IndexSet indexes_;
+  RandomSamplingEstimator fallback_;
+};
+
+}  // namespace lc
+
+#endif  // LC_EST_IBJS_H_

@@ -1,0 +1,175 @@
+#include "est/pg_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "db/column.h"
+#include "util/check.h"
+
+namespace lc {
+
+double ColumnPgStats::HistogramFraction() const {
+  double mcv_total = 0.0;
+  for (double fraction : mcv_fractions) mcv_total += fraction;
+  return std::max(0.0, 1.0 - null_fraction - mcv_total);
+}
+
+double ColumnPgStats::Selectivity(CompareOp op, int32_t literal) const {
+  if (table_rows == 0) return 0.0;
+
+  // Portion covered by the MCV list.
+  double mcv_match = 0.0;
+  double mcv_total = 0.0;
+  for (size_t i = 0; i < mcv_values.size(); ++i) {
+    mcv_total += mcv_fractions[i];
+    Predicate p{0, 0, op, literal};
+    if (p.Matches(mcv_values[i])) mcv_match += mcv_fractions[i];
+  }
+  const double rest = HistogramFraction();
+
+  if (op == CompareOp::kEq) {
+    for (size_t i = 0; i < mcv_values.size(); ++i) {
+      if (mcv_values[i] == literal) return mcv_fractions[i];
+    }
+    // eqsel: spread the non-MCV mass uniformly over the remaining distinct
+    // values.
+    const int64_t remaining_distinct =
+        distinct_count - static_cast<int64_t>(mcv_values.size());
+    if (remaining_distinct <= 0) return 0.0;
+    return rest / static_cast<double>(remaining_distinct);
+  }
+
+  // scalarltsel / scalargtsel: interpolate the literal's position within the
+  // equi-depth histogram; each bucket holds an equal share of `rest`.
+  double hist_fraction = 0.5;  // PostgreSQL's default without a histogram.
+  if (histogram_bounds.size() >= 2) {
+    const auto begin = histogram_bounds.begin();
+    const auto end = histogram_bounds.end();
+    if (literal <= histogram_bounds.front()) {
+      hist_fraction = 0.0;
+    } else if (literal >= histogram_bounds.back()) {
+      hist_fraction = 1.0;
+    } else {
+      const auto it = std::upper_bound(begin, end, literal);
+      const size_t bucket = static_cast<size_t>(it - begin) - 1;
+      const double lo = histogram_bounds[bucket];
+      const double hi = histogram_bounds[bucket + 1];
+      const double within =
+          hi > lo ? (static_cast<double>(literal) - lo) / (hi - lo) : 0.5;
+      hist_fraction = (static_cast<double>(bucket) + within) /
+                      static_cast<double>(histogram_bounds.size() - 1);
+    }
+  }
+  // hist_fraction approximates P(value < literal) among histogram values.
+  double selectivity = mcv_match;
+  if (op == CompareOp::kLt) {
+    selectivity += rest * hist_fraction;
+  } else {
+    // kGt: values strictly greater; subtract an eq-sized sliver like PG's
+    // histogram convention (values == literal fall on the boundary).
+    selectivity += rest * std::max(0.0, 1.0 - hist_fraction);
+  }
+  return std::clamp(selectivity, 0.0, 1.0);
+}
+
+ColumnPgStats BuildColumnPgStats(const Column& column,
+                                 const PgStatsOptions& options) {
+  LC_CHECK(column.finalized());
+  ColumnPgStats stats;
+  stats.table_rows = column.size();
+  stats.null_fraction = column.null_fraction();
+  stats.distinct_count = column.distinct_count();
+  if (column.size() == 0 || column.non_null_count() == 0) return stats;
+
+  // Value frequencies (full scan; this is ANALYZE without sampling, which
+  // only makes the baseline stronger).
+  std::unordered_map<int32_t, int64_t> counts;
+  counts.reserve(static_cast<size_t>(column.distinct_count()) * 2);
+  for (size_t row = 0; row < column.size(); ++row) {
+    const int32_t value = column.raw(row);
+    if (value != kNullValue) ++counts[value];
+  }
+
+  // MCVs: the most frequent values, like PostgreSQL keeping only values
+  // that are "common enough" (here: frequency above ~1.5x the average).
+  std::vector<std::pair<int32_t, int64_t>> ordered(counts.begin(),
+                                                   counts.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const double average = static_cast<double>(column.non_null_count()) /
+                         static_cast<double>(counts.size());
+  const int max_mcvs = std::min<int>(options.max_mcvs,
+                                     static_cast<int>(ordered.size()));
+  for (int i = 0; i < max_mcvs; ++i) {
+    if (static_cast<double>(ordered[static_cast<size_t>(i)].second) <
+        1.25 * average) {
+      break;
+    }
+    stats.mcv_values.push_back(ordered[static_cast<size_t>(i)].first);
+    stats.mcv_fractions.push_back(
+        static_cast<double>(ordered[static_cast<size_t>(i)].second) /
+        static_cast<double>(column.size()));
+  }
+
+  // Equi-depth histogram over the non-MCV values.
+  std::vector<int32_t> rest;
+  rest.reserve(column.size());
+  for (size_t row = 0; row < column.size(); ++row) {
+    const int32_t value = column.raw(row);
+    if (value == kNullValue) continue;
+    if (std::find(stats.mcv_values.begin(), stats.mcv_values.end(), value) !=
+        stats.mcv_values.end()) {
+      continue;
+    }
+    rest.push_back(value);
+  }
+  if (rest.size() >= 2) {
+    std::sort(rest.begin(), rest.end());
+    const int buckets =
+        std::min<int>(options.histogram_buckets,
+                      static_cast<int>(rest.size()) - 1);
+    stats.histogram_bounds.reserve(static_cast<size_t>(buckets) + 1);
+    for (int b = 0; b <= buckets; ++b) {
+      const size_t index =
+          static_cast<size_t>(static_cast<double>(b) /
+                              static_cast<double>(buckets) *
+                              static_cast<double>(rest.size() - 1));
+      stats.histogram_bounds.push_back(rest[index]);
+    }
+  }
+  return stats;
+}
+
+PgStatsCatalog::PgStatsCatalog(const Database* db,
+                               const PgStatsOptions& options) {
+  LC_CHECK(db != nullptr);
+  stats_.resize(static_cast<size_t>(db->schema().num_tables()));
+  rows_.resize(static_cast<size_t>(db->schema().num_tables()));
+  for (TableId table = 0; table < db->schema().num_tables(); ++table) {
+    const Table& data = db->table(table);
+    rows_[static_cast<size_t>(table)] = data.num_rows();
+    std::vector<ColumnPgStats>& per_table = stats_[static_cast<size_t>(table)];
+    per_table.reserve(static_cast<size_t>(data.num_columns()));
+    for (int column = 0; column < data.num_columns(); ++column) {
+      per_table.push_back(BuildColumnPgStats(data.column(column), options));
+    }
+  }
+}
+
+const ColumnPgStats& PgStatsCatalog::stats(TableId table, int column) const {
+  LC_CHECK(table >= 0 && static_cast<size_t>(table) < stats_.size());
+  const std::vector<ColumnPgStats>& per_table =
+      stats_[static_cast<size_t>(table)];
+  LC_CHECK(column >= 0 && static_cast<size_t>(column) < per_table.size());
+  return per_table[static_cast<size_t>(column)];
+}
+
+size_t PgStatsCatalog::table_rows(TableId table) const {
+  LC_CHECK(table >= 0 && static_cast<size_t>(table) < rows_.size());
+  return rows_[static_cast<size_t>(table)];
+}
+
+}  // namespace lc

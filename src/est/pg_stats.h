@@ -1,0 +1,64 @@
+// Per-column statistics in the style of PostgreSQL's pg_stats: most-common
+// values with frequencies, an equi-depth histogram over the remaining
+// values, the distinct count and the NULL fraction. These drive the
+// PostgreSQL-style estimator (est/postgres.h).
+
+#ifndef LC_EST_PG_STATS_H_
+#define LC_EST_PG_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/query.h"
+
+namespace lc {
+
+/// Statistics of one column.
+struct ColumnPgStats {
+  size_t table_rows = 0;
+  double null_fraction = 0.0;
+  int64_t distinct_count = 0;
+
+  /// Most common values, descending by frequency; frequencies are fractions
+  /// of all rows (including NULLs), as in pg_stats.most_common_freqs.
+  std::vector<int32_t> mcv_values;
+  std::vector<double> mcv_fractions;
+
+  /// Equi-depth histogram bounds over the non-MCV, non-NULL values
+  /// (pg_stats.histogram_bounds); empty when too few values remain.
+  std::vector<int32_t> histogram_bounds;
+
+  /// Fraction of all rows that are non-NULL and not covered by the MCVs.
+  double HistogramFraction() const;
+
+  /// Selectivity of `op literal` against this column under PostgreSQL's
+  /// clause-selectivity model (eqsel / scalarltsel / scalargtsel).
+  double Selectivity(CompareOp op, int32_t literal) const;
+};
+
+struct PgStatsOptions {
+  int max_mcvs = 25;           // Like default_statistics_target class sizes.
+  int histogram_buckets = 64;  // Number of equi-depth buckets.
+};
+
+/// Builds statistics for one column by a full scan (the ANALYZE step).
+ColumnPgStats BuildColumnPgStats(const Column& column,
+                                 const PgStatsOptions& options = {});
+
+/// Statistics for every column of every table.
+class PgStatsCatalog {
+ public:
+  PgStatsCatalog(const Database* db, const PgStatsOptions& options = {});
+
+  const ColumnPgStats& stats(TableId table, int column) const;
+  size_t table_rows(TableId table) const;
+
+ private:
+  std::vector<std::vector<ColumnPgStats>> stats_;
+  std::vector<size_t> rows_;
+};
+
+}  // namespace lc
+
+#endif  // LC_EST_PG_STATS_H_

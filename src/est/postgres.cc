@@ -1,0 +1,57 @@
+#include "est/postgres.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lc {
+
+PostgresEstimator::PostgresEstimator(const Database* db,
+                                     PgStatsOptions options)
+    : db_(db), catalog_(db, options) {
+  LC_CHECK(db != nullptr);
+}
+
+double PostgresEstimator::TableSelectivity(const Query& query,
+                                           TableId table) const {
+  double selectivity = 1.0;
+  for (const Predicate& predicate : query.predicates) {
+    if (predicate.table != table) continue;
+    selectivity *= catalog_.stats(table, predicate.column)
+                       .Selectivity(predicate.op, predicate.literal);
+  }
+  return selectivity;
+}
+
+double PostgresEstimator::Estimate(const LabeledQuery& labeled) {
+  const Query& query = labeled.query;
+  const Schema& schema = db_->schema();
+
+  // Base relation cardinalities under clause independence.
+  double cardinality = 1.0;
+  for (TableId table : query.tables) {
+    cardinality *= static_cast<double>(catalog_.table_rows(table)) *
+                   TableSelectivity(query, table);
+  }
+
+  // Join selectivities: eqjoinsel's 1/max(nd) with NULL correction.
+  for (int join : query.joins) {
+    const JoinEdgeDef& edge = schema.join_edge(join);
+    const ColumnPgStats& left =
+        catalog_.stats(edge.left_table, edge.left_column);
+    const ColumnPgStats& right =
+        catalog_.stats(edge.right_table, edge.right_column);
+    const double nd = static_cast<double>(
+        std::max<int64_t>(1, std::max(left.distinct_count,
+                                      right.distinct_count)));
+    const double null_factor =
+        (1.0 - left.null_fraction) * (1.0 - right.null_fraction);
+    cardinality *= null_factor / nd;
+  }
+
+  // PostgreSQL clamps join estimates to at least one row.
+  return std::max(1.0, cardinality);
+}
+
+}  // namespace lc

@@ -1,0 +1,38 @@
+// PostgreSQL-style cardinality estimator: per-clause selectivities from
+// pg_stats-like statistics (MCVs + equi-depth histograms), conjuncts
+// combined under the attribute-value-independence assumption, and joins
+// estimated with the eqjoinsel formula sel = 1/max(nd_left, nd_right)
+// corrected for NULLs — the "PostgreSQL version 10.3" competitor of the
+// paper's section 4.
+
+#ifndef LC_EST_POSTGRES_H_
+#define LC_EST_POSTGRES_H_
+
+#include <memory>
+
+#include "est/estimator.h"
+#include "est/pg_stats.h"
+
+namespace lc {
+
+class PostgresEstimator : public CardinalityEstimator {
+ public:
+  PostgresEstimator(const Database* db, PgStatsOptions options = {});
+
+  std::string name() const override { return "PostgreSQL"; }
+  double Estimate(const LabeledQuery& query) override;
+
+  /// Selectivity of all of `query`'s predicates on `table` (for tests and
+  /// the RS fallback, which shares PG's clause model).
+  double TableSelectivity(const Query& query, TableId table) const;
+
+  const PgStatsCatalog& catalog() const { return catalog_; }
+
+ private:
+  const Database* db_;
+  PgStatsCatalog catalog_;
+};
+
+}  // namespace lc
+
+#endif  // LC_EST_POSTGRES_H_

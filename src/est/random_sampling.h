@@ -1,0 +1,35 @@
+// Random Sampling (RS) estimator, as described in the paper's section 4:
+// base-table selectivities come from evaluating the predicates on the shared
+// materialized samples; joins are combined under the independence
+// assumption. When a conjunctive predicate qualifies zero sample tuples (the
+// 0-tuple situation of section 4.2), RS first tries the conjuncts
+// individually and finally falls back to an educated guess based on the
+// distinct count of the most selective conjunct's column.
+
+#ifndef LC_EST_RANDOM_SAMPLING_H_
+#define LC_EST_RANDOM_SAMPLING_H_
+
+#include "est/estimator.h"
+#include "sample/sample.h"
+
+namespace lc {
+
+class RandomSamplingEstimator : public CardinalityEstimator {
+ public:
+  RandomSamplingEstimator(const Database* db, const SampleSet* samples);
+
+  std::string name() const override { return "Random Samp."; }
+  double Estimate(const LabeledQuery& query) override;
+
+  /// Sample-based selectivity of `query`'s predicates on `table`, with the
+  /// paper's 0-tuple fallback chain. Exposed for IBJS, which shares it.
+  double TableSelectivity(const Query& query, TableId table) const;
+
+ private:
+  const Database* db_;
+  const SampleSet* samples_;
+};
+
+}  // namespace lc
+
+#endif  // LC_EST_RANDOM_SAMPLING_H_

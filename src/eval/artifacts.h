@@ -1,0 +1,53 @@
+// Artifact cache for the experiment harness: labelled workloads (expensive
+// to execute) and trained models (expensive to fit) are stored on disk keyed
+// by a content fingerprint of their full configuration, so every bench
+// binary is self-contained yet the suite only pays each cost once.
+//
+// Set LC_CACHE_DIR to relocate the cache; set LC_NO_CACHE=1 to disable it.
+
+#ifndef LC_EVAL_ARTIFACTS_H_
+#define LC_EVAL_ARTIFACTS_H_
+
+#include <functional>
+#include <string>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "workload/workload.h"
+
+namespace lc {
+
+/// (De)serialization of a training history (for the Figure 6 curve).
+std::string SerializeHistory(const TrainingHistory& history);
+StatusOr<TrainingHistory> DeserializeHistory(const std::string& bytes);
+
+class ArtifactCache {
+ public:
+  /// Uses LC_CACHE_DIR (default "build-cache") unless a root is given.
+  explicit ArtifactCache(std::string root = "");
+
+  /// Loads the workload cached under `key`, or builds and stores it.
+  Workload GetWorkload(const std::string& key,
+                       const std::function<Workload()>& build);
+
+  /// Loads the model (and optionally its training history) cached under
+  /// `key`, or trains and stores both.
+  MscnModel GetModel(
+      const std::string& key,
+      const std::function<MscnModel(TrainingHistory*)>& train,
+      TrainingHistory* history = nullptr);
+
+  bool enabled() const { return enabled_; }
+  const std::string& root() const { return root_; }
+
+  /// File path for a cache key (fingerprinted).
+  std::string PathFor(const std::string& key, const std::string& kind) const;
+
+ private:
+  std::string root_;
+  bool enabled_ = true;
+};
+
+}  // namespace lc
+
+#endif  // LC_EVAL_ARTIFACTS_H_

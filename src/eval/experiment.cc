@@ -1,0 +1,240 @@
+#include "eval/experiment.h"
+
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/str.h"
+#include "util/timer.h"
+#include "workload/job_light.h"
+
+namespace lc {
+
+ExperimentConfig ExperimentConfig::FromEnv() {
+  ExperimentConfig config;
+  config.imdb = ImdbConfig::FromEnv();
+  config.sample_size = static_cast<size_t>(
+      GetEnvInt("LC_SAMPLE_SIZE", static_cast<int64_t>(config.sample_size)));
+  config.train_queries = static_cast<size_t>(GetEnvInt(
+      "LC_TRAIN_QUERIES", static_cast<int64_t>(config.train_queries)));
+  config.synthetic_queries = static_cast<size_t>(
+      GetEnvInt("LC_SYNTHETIC_QUERIES",
+                static_cast<int64_t>(config.synthetic_queries)));
+  config.scale_queries_per_join = static_cast<size_t>(
+      GetEnvInt("LC_SCALE_QUERIES",
+                static_cast<int64_t>(config.scale_queries_per_join)));
+  config.mscn = MscnConfig::FromEnv();
+  return config;
+}
+
+std::string ExperimentConfig::CacheKeyBase() const {
+  return Format(
+      "%s|samples=%zu,seed=%llu|train=%zu@%llu|synth=%zu@%llu|scale=%zu@%llu",
+      imdb.CacheKey().c_str(), sample_size,
+      static_cast<unsigned long long>(sample_seed), train_queries,
+      static_cast<unsigned long long>(train_seed), synthetic_queries,
+      static_cast<unsigned long long>(synthetic_seed),
+      scale_queries_per_join, static_cast<unsigned long long>(scale_seed));
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(config),
+      db_(GenerateImdb(config.imdb)),
+      executor_(&db_),
+      samples_(&db_, config.sample_size, config.sample_seed),
+      cache_() {}
+
+Workload Experiment::BuildTraining() {
+  LC_LOG(INFO) << "labelling training corpus (" << config_.train_queries
+               << " queries; one-time, cached)...";
+  WallTimer timer;
+  GeneratorConfig generator_config;
+  generator_config.seed = config_.train_seed;
+  QueryGenerator generator(&db_, generator_config);
+  Workload workload = generator.GenerateLabeled(
+      executor_, samples_, config_.train_queries, "training");
+  LC_LOG(INFO) << "labelled training corpus in " << HumanSeconds(timer.Seconds());
+  return workload;
+}
+
+Workload Experiment::BuildSynthetic() {
+  LC_LOG(INFO) << "labelling synthetic workload ("
+               << config_.synthetic_queries << " queries; cached)...";
+  GeneratorConfig generator_config;
+  generator_config.seed = config_.synthetic_seed;
+  QueryGenerator generator(&db_, generator_config);
+  return generator.GenerateLabeled(executor_, samples_,
+                                   config_.synthetic_queries, "synthetic");
+}
+
+Workload Experiment::BuildScale() {
+  LC_LOG(INFO) << "labelling scale workload (cached)...";
+  Workload workload;
+  workload.name = "scale";
+  workload.sample_size = samples_.sample_size();
+  for (int joins = 0; joins <= 4; ++joins) {
+    GeneratorConfig generator_config;
+    generator_config.seed =
+        config_.scale_seed + static_cast<uint64_t>(joins) * 13;
+    generator_config.min_joins = joins;
+    generator_config.max_joins = joins;
+    QueryGenerator generator(&db_, generator_config);
+    const Workload slice = generator.GenerateLabeled(
+        executor_, samples_, config_.scale_queries_per_join,
+        Format("scale-%d", joins));
+    for (const LabeledQuery& labeled : slice.queries) {
+      workload.queries.push_back(labeled);
+    }
+  }
+  return workload;
+}
+
+Workload Experiment::BuildJobLight() {
+  LC_LOG(INFO) << "labelling JOB-light (cached)...";
+  Workload workload;
+  workload.name = "JOB-light";
+  workload.sample_size = samples_.sample_size();
+  for (const Query& query : BuildJobLightQueries(db_)) {
+    workload.queries.push_back(LabelQuery(query, &executor_, samples_));
+  }
+  return workload;
+}
+
+const Workload& Experiment::TrainingWorkload() {
+  if (!training_.has_value()) {
+    training_ = cache_.GetWorkload(
+        KeyFor("training"), [this] { return BuildTraining(); });
+  }
+  return *training_;
+}
+
+const Workload& Experiment::SyntheticWorkload() {
+  if (!synthetic_.has_value()) {
+    synthetic_ = cache_.GetWorkload(
+        KeyFor("synthetic"), [this] { return BuildSynthetic(); });
+  }
+  return *synthetic_;
+}
+
+const Workload& Experiment::ScaleWorkload() {
+  if (!scale_.has_value()) {
+    scale_ = cache_.GetWorkload(KeyFor("scale"),
+                                [this] { return BuildScale(); });
+  }
+  return *scale_;
+}
+
+const Workload& Experiment::JobLightWorkload() {
+  if (!job_light_.has_value()) {
+    job_light_ = cache_.GetWorkload(KeyFor("job-light"),
+                                    [this] { return BuildJobLight(); });
+  }
+  return *job_light_;
+}
+
+const Featurizer& Experiment::FeaturizerFor(FeatureVariant variant) {
+  auto it = featurizers_.find(variant);
+  if (it == featurizers_.end()) {
+    it = featurizers_
+             .emplace(variant, std::make_unique<Featurizer>(
+                                   &db_, variant, config_.sample_size))
+             .first;
+  }
+  return *it->second;
+}
+
+MscnModel Experiment::TrainWithConfig(const MscnConfig& config,
+                                      TrainingHistory* history) {
+  const std::string key =
+      KeyFor("model|" + config.CacheKey());
+  return cache_.GetModel(
+      key,
+      [this, &config](TrainingHistory* fresh_history) {
+        const Workload& corpus = TrainingWorkload();
+        const Featurizer& featurizer = FeaturizerFor(config.variant);
+        Trainer trainer(&featurizer, config);
+        const TrainValSplit split = SplitWorkload(
+            corpus, config.validation_fraction, config.seed);
+        LC_LOG(INFO) << "training MSCN (" << FeatureVariantName(config.variant)
+                     << ", " << LossKindName(config.loss) << ", d="
+                     << config.hidden_units << ", epochs=" << config.epochs
+                     << "; one-time, cached)...";
+        WallTimer timer;
+        MscnModel model =
+            trainer.Train(split.train, split.validation, fresh_history);
+        LC_LOG(INFO) << "trained in " << HumanSeconds(timer.Seconds());
+        return model;
+      },
+      history);
+}
+
+MscnModel& Experiment::Model(FeatureVariant variant,
+                             TrainingHistory* history) {
+  auto it = models_.find(variant);
+  if (it == models_.end()) {
+    MscnConfig config = config_.mscn;
+    config.variant = variant;
+    TrainingHistory fresh_history;
+    MscnModel model = TrainWithConfig(config, &fresh_history);
+    histories_[variant] = fresh_history;
+    it = models_
+             .emplace(variant,
+                      std::make_unique<MscnModel>(std::move(model)))
+             .first;
+  }
+  if (history != nullptr) *history = histories_[variant];
+  return *it->second;
+}
+
+PostgresEstimator& Experiment::Postgres() {
+  if (!postgres_) postgres_ = std::make_unique<PostgresEstimator>(&db_);
+  return *postgres_;
+}
+
+RandomSamplingEstimator& Experiment::RandomSampling() {
+  if (!random_sampling_) {
+    random_sampling_ =
+        std::make_unique<RandomSamplingEstimator>(&db_, &samples_);
+  }
+  return *random_sampling_;
+}
+
+IbjsEstimator& Experiment::Ibjs() {
+  if (!ibjs_) ibjs_ = std::make_unique<IbjsEstimator>(&db_, &samples_);
+  return *ibjs_;
+}
+
+MscnEstimator& Experiment::Mscn(FeatureVariant variant) {
+  auto it = mscn_estimators_.find(variant);
+  if (it == mscn_estimators_.end()) {
+    MscnModel& model = Model(variant);
+    const Featurizer& featurizer = FeaturizerFor(variant);
+    std::string name = "MSCN";
+    if (variant != FeatureVariant::kBitmaps) {
+      name = Format("MSCN (%s)", FeatureVariantName(variant));
+    }
+    it = mscn_estimators_
+             .emplace(variant, std::make_unique<MscnEstimator>(
+                                   &featurizer, &model, name))
+             .first;
+  }
+  return *it->second;
+}
+
+void Experiment::PrintSetup(std::ostream& os) {
+  os << "setup: " << db_.TotalRows() << " rows over "
+     << db_.schema().num_tables() << " tables ("
+     << config_.imdb.num_titles << " titles), sample size "
+     << config_.sample_size << ", " << config_.train_queries
+     << " training queries, MSCN d=" << config_.mscn.hidden_units
+     << " epochs=" << config_.mscn.epochs << " batch="
+     << config_.mscn.batch_size << "\n"
+     << "(paper scale: 2.5M titles IMDb, 1000 samples, 100k training "
+        "queries, d=256, 100 epochs; override with LC_TITLES, "
+        "LC_SAMPLE_SIZE, LC_TRAIN_QUERIES, LC_HIDDEN_UNITS, LC_EPOCHS)\n";
+}
+
+// Private helper defined out of line to keep the header clean.
+std::string Experiment::KeyFor(const std::string& suffix) {
+  return config_.CacheKeyBase() + "|" + suffix;
+}
+
+}  // namespace lc

@@ -1,0 +1,132 @@
+#include "eval/report.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lc {
+
+std::vector<double> EstimateWorkload(CardinalityEstimator* estimator,
+                                     const Workload& workload) {
+  LC_CHECK(estimator != nullptr);
+  std::vector<double> estimates;
+  estimates.reserve(workload.size());
+  for (const LabeledQuery& labeled : workload.queries) {
+    estimates.push_back(estimator->Estimate(labeled));
+  }
+  return estimates;
+}
+
+namespace {
+
+std::vector<size_t> FullSubset(size_t n) {
+  std::vector<size_t> subset(n);
+  for (size_t i = 0; i < n; ++i) subset[i] = i;
+  return subset;
+}
+
+}  // namespace
+
+std::vector<double> QErrors(const std::vector<double>& estimates,
+                            const Workload& workload,
+                            const std::vector<size_t>& subset) {
+  LC_CHECK_EQ(estimates.size(), workload.size());
+  const std::vector<size_t> indices =
+      subset.empty() ? FullSubset(workload.size()) : subset;
+  std::vector<double> qerrors;
+  qerrors.reserve(indices.size());
+  for (size_t index : indices) {
+    qerrors.push_back(
+        QError(estimates[index],
+               static_cast<double>(workload.queries[index].cardinality)));
+  }
+  return qerrors;
+}
+
+std::vector<double> SignedQErrors(const std::vector<double>& estimates,
+                                  const Workload& workload,
+                                  const std::vector<size_t>& subset) {
+  LC_CHECK_EQ(estimates.size(), workload.size());
+  const std::vector<size_t> indices =
+      subset.empty() ? FullSubset(workload.size()) : subset;
+  std::vector<double> signed_qerrors;
+  signed_qerrors.reserve(indices.size());
+  for (size_t index : indices) {
+    signed_qerrors.push_back(SignedQError(
+        estimates[index],
+        static_cast<double>(workload.queries[index].cardinality)));
+  }
+  return signed_qerrors;
+}
+
+void PrintErrorTable(std::ostream& os, const std::string& title,
+                     const std::vector<NamedSummary>& rows) {
+  os << title << "\n";
+  os << Format("%-16s %10s %10s %10s %10s %10s %10s\n", "", "median", "90th",
+               "95th", "99th", "max", "mean");
+  for (const NamedSummary& row : rows) {
+    os << Format("%-16s %10s %10s %10s %10s %10s %10s\n", row.name.c_str(),
+                 HumanNumber(row.summary.median).c_str(),
+                 HumanNumber(row.summary.p90).c_str(),
+                 HumanNumber(row.summary.p95).c_str(),
+                 HumanNumber(row.summary.p99).c_str(),
+                 HumanNumber(row.summary.max).c_str(),
+                 HumanNumber(row.summary.mean).c_str());
+  }
+}
+
+NamedBoxSeries BoxSeriesByJoins(const std::string& name,
+                                const std::vector<double>& estimates,
+                                const Workload& workload, int max_joins) {
+  NamedBoxSeries series;
+  series.name = name;
+  for (int joins = 0; joins <= max_joins; ++joins) {
+    const std::vector<size_t> subset = workload.QueriesWithJoins(joins);
+    if (subset.empty()) continue;
+    series.join_counts.push_back(joins);
+    series.boxes.push_back(
+        SummarizeBox(SignedQErrors(estimates, workload, subset)));
+  }
+  return series;
+}
+
+void PrintBoxplotFigure(std::ostream& os, const std::string& title,
+                        const std::vector<NamedBoxSeries>& series) {
+  os << title << "\n";
+  os << Format("%-18s %6s %10s %10s %10s %10s %10s %8s\n", "estimator",
+               "joins", "p5", "p25", "median", "p75", "p95", "n");
+  for (const NamedBoxSeries& entry : series) {
+    for (size_t i = 0; i < entry.join_counts.size(); ++i) {
+      const BoxSummary& box = entry.boxes[i];
+      os << Format("%-18s %6d %10s %10s %10s %10s %10s %8zu\n",
+                   entry.name.c_str(), entry.join_counts[i],
+                   HumanNumber(box.p5).c_str(), HumanNumber(box.p25).c_str(),
+                   HumanNumber(box.median).c_str(),
+                   HumanNumber(box.p75).c_str(), HumanNumber(box.p95).c_str(),
+                   box.count);
+    }
+  }
+  os << "(signed q-error: negative = underestimation, positive = "
+        "overestimation)\n";
+}
+
+void PrintJoinDistribution(std::ostream& os,
+                           const std::vector<const Workload*>& workloads,
+                           int max_joins) {
+  os << Format("%-12s", "workload");
+  for (int joins = 0; joins <= max_joins; ++joins) {
+    os << Format(" %8d", joins);
+  }
+  os << Format(" %8s\n", "overall");
+  for (const Workload* workload : workloads) {
+    os << Format("%-12s", workload->name.c_str());
+    const std::vector<int> histogram = workload->JoinHistogram(max_joins);
+    int total = 0;
+    for (int count : histogram) {
+      os << Format(" %8d", count);
+      total += count;
+    }
+    os << Format(" %8d\n", total);
+  }
+}
+
+}  // namespace lc

@@ -1,0 +1,69 @@
+// Evaluation drivers and paper-style report printers: percentile tables
+// (Tables 2-4), box-plot summaries per join count (Figures 3-5), and the
+// join-distribution table (Table 1).
+
+#ifndef LC_EVAL_REPORT_H_
+#define LC_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "est/estimator.h"
+#include "util/stats.h"
+#include "workload/workload.h"
+
+namespace lc {
+
+/// Cardinality estimates of `estimator` for every workload query, in order.
+std::vector<double> EstimateWorkload(CardinalityEstimator* estimator,
+                                     const Workload& workload);
+
+/// Q-errors (estimate vs true cardinality) for a subset of queries; an empty
+/// `subset` means all queries.
+std::vector<double> QErrors(const std::vector<double>& estimates,
+                            const Workload& workload,
+                            const std::vector<size_t>& subset = {});
+
+/// Signed q-errors (negative = underestimation) for a subset.
+std::vector<double> SignedQErrors(const std::vector<double>& estimates,
+                                  const Workload& workload,
+                                  const std::vector<size_t>& subset = {});
+
+/// One labelled row of a percentile table.
+struct NamedSummary {
+  std::string name;
+  ErrorSummary summary;
+};
+
+/// Prints a Table 2/3/4-style percentile table:
+///          median  90th  95th  99th  max  mean
+///   name     ...
+void PrintErrorTable(std::ostream& os, const std::string& title,
+                     const std::vector<NamedSummary>& rows);
+
+/// Box-plot data of one estimator: one BoxSummary per join count.
+struct NamedBoxSeries {
+  std::string name;
+  std::vector<int> join_counts;
+  std::vector<BoxSummary> boxes;  // Aligned with join_counts.
+};
+
+/// Prints a Figure 3/4/5-style text rendering: for each estimator and join
+/// count, the signed 5th/25th/median/75th/95th percentiles.
+void PrintBoxplotFigure(std::ostream& os, const std::string& title,
+                        const std::vector<NamedBoxSeries>& series);
+
+/// Prints the Table 1-style join-count distribution of several workloads.
+void PrintJoinDistribution(std::ostream& os,
+                           const std::vector<const Workload*>& workloads,
+                           int max_joins);
+
+/// Box summaries of an estimator per join count over a workload.
+NamedBoxSeries BoxSeriesByJoins(const std::string& name,
+                                const std::vector<double>& estimates,
+                                const Workload& workload, int max_joins);
+
+}  // namespace lc
+
+#endif  // LC_EVAL_REPORT_H_

@@ -1,0 +1,292 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "db/column.h"
+#include "util/check.h"
+
+namespace lc {
+
+namespace {
+
+// A key -> count map that switches to a dense array when the key domain is
+// compact (e.g. title ids), which it almost always is for PK-FK joins.
+class CountMap {
+ public:
+  CountMap(int32_t min_key, int32_t max_key, size_t expected_entries) {
+    const int64_t span =
+        static_cast<int64_t>(max_key) - static_cast<int64_t>(min_key) + 1;
+    // Dense pays off whenever the domain is not wildly larger than the data.
+    if (span > 0 && span <= 8 * static_cast<int64_t>(expected_entries) + 1024) {
+      dense_ = true;
+      base_ = min_key;
+      dense_counts_.assign(static_cast<size_t>(span), 0);
+    } else {
+      sparse_counts_.reserve(expected_entries);
+    }
+  }
+
+  void Add(int32_t key, int64_t count) {
+    if (dense_) {
+      dense_counts_[static_cast<size_t>(key - base_)] += count;
+    } else {
+      sparse_counts_[key] += count;
+    }
+  }
+
+  int64_t Get(int32_t key) const {
+    if (dense_) {
+      const int64_t index =
+          static_cast<int64_t>(key) - static_cast<int64_t>(base_);
+      if (index < 0 || index >= static_cast<int64_t>(dense_counts_.size())) {
+        return 0;
+      }
+      return dense_counts_[static_cast<size_t>(index)];
+    }
+    const auto it = sparse_counts_.find(key);
+    return it == sparse_counts_.end() ? 0 : it->second;
+  }
+
+ private:
+  bool dense_ = false;
+  int32_t base_ = 0;
+  std::vector<int64_t> dense_counts_;
+  std::unordered_map<int32_t, int64_t> sparse_counts_;
+};
+
+}  // namespace
+
+Executor::Executor(const Database* db) : db_(db) { LC_CHECK(db != nullptr); }
+
+bool Executor::RowMatches(TableId table, uint32_t row,
+                          const std::vector<Predicate>& predicates) const {
+  const Table& data = db_->table(table);
+  for (const Predicate& predicate : predicates) {
+    LC_DCHECK_EQ(predicate.table, table);
+    if (!predicate.Matches(data.column(predicate.column).raw(row))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint32_t> Executor::SelectRows(
+    TableId table, const std::vector<Predicate>& predicates) const {
+  const size_t rows = db_->table(table).num_rows();
+  std::vector<uint32_t> selected;
+  for (uint32_t row = 0; row < rows; ++row) {
+    if (RowMatches(table, row, predicates)) selected.push_back(row);
+  }
+  return selected;
+}
+
+int64_t Executor::CountSelected(
+    TableId table, const std::vector<Predicate>& predicates) const {
+  const size_t rows = db_->table(table).num_rows();
+  int64_t count = 0;
+  for (uint32_t row = 0; row < rows; ++row) {
+    if (RowMatches(table, row, predicates)) ++count;
+  }
+  return count;
+}
+
+int64_t Executor::Cardinality(const Query& query) const {
+  LC_CHECK(!query.tables.empty());
+  const Schema& schema = db_->schema();
+
+  if (query.num_tables() == 1) {
+    LC_CHECK(query.joins.empty());
+    return CountSelected(query.tables[0], query.predicates);
+  }
+
+  // The join graph must form a tree over the query's tables.
+  LC_CHECK_EQ(query.num_joins(), query.num_tables() - 1)
+      << "join graph must be a tree";
+
+  // Local node indices.
+  std::unordered_map<TableId, int> node_of;
+  for (int i = 0; i < query.num_tables(); ++i) node_of[query.tables[i]] = i;
+  struct Neighbor {
+    int node;
+    int edge;  // Schema edge index.
+  };
+  std::vector<std::vector<Neighbor>> adjacency(query.tables.size());
+  for (int join : query.joins) {
+    const JoinEdgeDef& edge = schema.join_edge(join);
+    const auto left = node_of.find(edge.left_table);
+    const auto right = node_of.find(edge.right_table);
+    LC_CHECK(left != node_of.end() && right != node_of.end())
+        << "join references table outside the query";
+    adjacency[static_cast<size_t>(left->second)].push_back(
+        {right->second, join});
+    adjacency[static_cast<size_t>(right->second)].push_back(
+        {left->second, join});
+  }
+
+  // Iterative post-order DFS from node 0; also validates connectivity.
+  struct Visit {
+    int node;
+    int parent;
+    int parent_edge;  // Schema edge index connecting to the parent, or -1.
+  };
+  std::vector<Visit> order;
+  std::vector<bool> seen(query.tables.size(), false);
+  std::vector<Visit> stack = {{0, -1, -1}};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const Visit visit = stack.back();
+    stack.pop_back();
+    order.push_back(visit);
+    for (const Neighbor& neighbor :
+         adjacency[static_cast<size_t>(visit.node)]) {
+      if (seen[static_cast<size_t>(neighbor.node)]) continue;
+      seen[static_cast<size_t>(neighbor.node)] = true;
+      stack.push_back({neighbor.node, visit.node, neighbor.edge});
+    }
+  }
+  LC_CHECK_EQ(order.size(), query.tables.size())
+      << "join graph must be connected";
+
+  // Messages indexed by node; children appear after parents in `order`, so
+  // processing in reverse yields post-order (children first).
+  std::vector<std::unique_ptr<CountMap>> messages(query.tables.size());
+  int64_t total = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Visit& visit = *it;
+    const TableId table_id = query.tables[static_cast<size_t>(visit.node)];
+    const Table& table = db_->table(table_id);
+    const std::vector<Predicate> predicates = query.PredicatesFor(table_id);
+
+    // Columns this node matches against its children's messages.
+    struct ChildRef {
+      const Column* column;
+      const CountMap* message;
+    };
+    std::vector<ChildRef> children;
+    for (const Neighbor& neighbor :
+         adjacency[static_cast<size_t>(visit.node)]) {
+      if (neighbor.node == visit.parent) continue;
+      const CountMap* message =
+          messages[static_cast<size_t>(neighbor.node)].get();
+      LC_CHECK(message != nullptr);
+      const JoinEdgeDef& edge = schema.join_edge(neighbor.edge);
+      children.push_back(
+          {&table.column(edge.ColumnOf(table_id)), message});
+    }
+
+    const bool is_root = visit.parent < 0;
+    const Column* parent_column = nullptr;
+    std::unique_ptr<CountMap> out_message;
+    if (!is_root) {
+      const JoinEdgeDef& edge = schema.join_edge(visit.parent_edge);
+      parent_column = &table.column(edge.ColumnOf(table_id));
+      LC_CHECK(parent_column->finalized());
+      out_message = std::make_unique<CountMap>(parent_column->min_value(),
+                                               parent_column->max_value(),
+                                               table.num_rows());
+    }
+
+    const size_t rows = table.num_rows();
+    for (uint32_t row = 0; row < rows; ++row) {
+      if (!RowMatches(table_id, row, predicates)) continue;
+      int64_t weight = 1;
+      for (const ChildRef& child : children) {
+        const int32_t key = child.column->raw(row);
+        if (key == kNullValue) {
+          weight = 0;
+          break;
+        }
+        weight *= child.message->Get(key);
+        if (weight == 0) break;
+      }
+      if (weight == 0) continue;
+      if (is_root) {
+        total += weight;
+      } else {
+        const int32_t key = parent_column->raw(row);
+        if (key != kNullValue) out_message->Add(key, weight);
+      }
+    }
+    if (!is_root) {
+      messages[static_cast<size_t>(visit.node)] = std::move(out_message);
+    }
+  }
+  return total;
+}
+
+int64_t BruteForceCardinality(const Database& db, const Query& query) {
+  const Schema& schema = db.schema();
+  const int k = query.num_tables();
+  LC_CHECK_GT(k, 0);
+  std::vector<uint32_t> assignment(static_cast<size_t>(k), 0);
+
+  // Recursive enumeration with early predicate/join checks.
+  struct Enumerator {
+    const Database& db;
+    const Schema& schema;
+    const Query& query;
+    std::vector<uint32_t>& assignment;
+    int64_t count = 0;
+
+    bool JoinsConsistent(int bound) const {
+      for (int join : query.joins) {
+        const JoinEdgeDef& edge = schema.join_edge(join);
+        int left_pos = -1;
+        int right_pos = -1;
+        for (int i = 0; i < bound; ++i) {
+          if (query.tables[static_cast<size_t>(i)] == edge.left_table) {
+            left_pos = i;
+          }
+          if (query.tables[static_cast<size_t>(i)] == edge.right_table) {
+            right_pos = i;
+          }
+        }
+        if (left_pos < 0 || right_pos < 0) continue;
+        const int32_t left_value =
+            db.table(edge.left_table)
+                .column(edge.left_column)
+                .raw(assignment[static_cast<size_t>(left_pos)]);
+        const int32_t right_value =
+            db.table(edge.right_table)
+                .column(edge.right_column)
+                .raw(assignment[static_cast<size_t>(right_pos)]);
+        if (left_value == kNullValue || right_value == kNullValue ||
+            left_value != right_value) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    void Recurse(int depth) {
+      if (depth == static_cast<int>(query.tables.size())) {
+        ++count;
+        return;
+      }
+      const TableId table_id = query.tables[static_cast<size_t>(depth)];
+      const Table& table = db.table(table_id);
+      const std::vector<Predicate> predicates =
+          query.PredicatesFor(table_id);
+      for (uint32_t row = 0; row < table.num_rows(); ++row) {
+        bool matches = true;
+        for (const Predicate& predicate : predicates) {
+          if (!predicate.Matches(table.column(predicate.column).raw(row))) {
+            matches = false;
+            break;
+          }
+        }
+        if (!matches) continue;
+        assignment[static_cast<size_t>(depth)] = row;
+        if (!JoinsConsistent(depth + 1)) continue;
+        Recurse(depth + 1);
+      }
+    }
+  };
+
+  Enumerator enumerator{db, schema, query, assignment};
+  enumerator.Recurse(0);
+  return enumerator.count;
+}
+
+}  // namespace lc

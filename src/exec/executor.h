@@ -1,0 +1,57 @@
+// Exact cardinality computation — the reproduction's stand-in for HyPer,
+// which the paper uses to label training queries with true cardinalities
+// (section 3.5).
+//
+// Join cardinalities are computed without materializing join results: the
+// query's join graph (always a tree for PK-FK schemas like IMDb's star) is
+// rooted anywhere and each node sends its parent a multiset "key -> number
+// of subtree join combinations" message. This is exact for acyclic joins and
+// linear in the scanned rows; the test suite cross-validates it against a
+// brute-force nested-loop counter.
+
+#ifndef LC_EXEC_EXECUTOR_H_
+#define LC_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/query.h"
+
+namespace lc {
+
+/// Exact COUNT(*) evaluation over a Database. Stateless and read-only;
+/// the database must outlive the executor.
+class Executor {
+ public:
+  explicit Executor(const Database* db);
+
+  /// Exact result cardinality of `query`. The query's join graph must be
+  /// connected and acyclic (checked).
+  int64_t Cardinality(const Query& query) const;
+
+  /// Rows of `table` matching all predicates (which must all reference
+  /// `table`).
+  std::vector<uint32_t> SelectRows(TableId table,
+                                   const std::vector<Predicate>& predicates)
+      const;
+
+  /// Number of rows of `table` matching all predicates.
+  int64_t CountSelected(TableId table,
+                        const std::vector<Predicate>& predicates) const;
+
+  /// True if `row` of `table` passes every predicate.
+  bool RowMatches(TableId table, uint32_t row,
+                  const std::vector<Predicate>& predicates) const;
+
+ private:
+  const Database* db_;
+};
+
+/// Reference nested-loop counter for validation; exponential in the number
+/// of tables — use only on tiny databases in tests.
+int64_t BruteForceCardinality(const Database& db, const Query& query);
+
+}  // namespace lc
+
+#endif  // LC_EXEC_EXECUTOR_H_

@@ -1,0 +1,39 @@
+#include "exec/index.h"
+
+#include "db/column.h"
+#include "util/check.h"
+
+namespace lc {
+
+HashIndex::HashIndex(const Table& table, int column) {
+  const Column& data = table.column(column);
+  rows_by_key_.reserve(table.num_rows());
+  for (uint32_t row = 0; row < table.num_rows(); ++row) {
+    const int32_t key = data.raw(row);
+    if (key == kNullValue) continue;
+    rows_by_key_[key].push_back(row);
+    ++num_entries_;
+  }
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(int32_t key) const {
+  static const std::vector<uint32_t>* empty = new std::vector<uint32_t>();
+  const auto it = rows_by_key_.find(key);
+  return it == rows_by_key_.end() ? *empty : it->second;
+}
+
+IndexSet::IndexSet(const Database* db) : db_(db) { LC_CHECK(db != nullptr); }
+
+const HashIndex& IndexSet::Get(TableId table, int column) {
+  const int64_t key = (static_cast<int64_t>(table) << 32) | column;
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    it = indexes_
+             .emplace(key, std::make_unique<HashIndex>(db_->table(table),
+                                                       column))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace lc

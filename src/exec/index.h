@@ -1,0 +1,49 @@
+// Hash join indexes: the "existing index structures" Index-Based Join
+// Sampling probes (Leis et al., CIDR'17; paper section 4).
+
+#ifndef LC_EXEC_INDEX_H_
+#define LC_EXEC_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+
+namespace lc {
+
+/// Maps each key of one column to the row ids holding it. NULLs are not
+/// indexed.
+class HashIndex {
+ public:
+  HashIndex(const Table& table, int column);
+
+  /// Rows whose key equals `key` (empty vector when absent).
+  const std::vector<uint32_t>& Lookup(int32_t key) const;
+
+  size_t num_keys() const { return rows_by_key_.size(); }
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  std::unordered_map<int32_t, std::vector<uint32_t>> rows_by_key_;
+  size_t num_entries_ = 0;
+};
+
+/// Lazily-built cache of hash indexes over a database, keyed by
+/// (table, column). Used by IBJS, which assumes indexes on all join columns.
+class IndexSet {
+ public:
+  explicit IndexSet(const Database* db);
+
+  /// The index for (table, column), building it on first use.
+  const HashIndex& Get(TableId table, int column);
+
+ private:
+  const Database* db_;
+  std::unordered_map<int64_t, std::unique_ptr<HashIndex>> indexes_;
+};
+
+}  // namespace lc
+
+#endif  // LC_EXEC_INDEX_H_

@@ -1,0 +1,177 @@
+#include "exec/query.h"
+
+#include <algorithm>
+
+#include "db/column.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lc {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+bool Predicate::Matches(int32_t raw_value) const {
+  if (raw_value == kNullValue) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return raw_value == literal;
+    case CompareOp::kLt:
+      return raw_value < literal;
+    case CompareOp::kGt:
+      return raw_value > literal;
+  }
+  return false;
+}
+
+bool Query::UsesTable(TableId table) const {
+  return std::find(tables.begin(), tables.end(), table) != tables.end();
+}
+
+std::vector<Predicate> Query::PredicatesFor(TableId table) const {
+  std::vector<Predicate> result;
+  for (const Predicate& predicate : predicates) {
+    if (predicate.table == table) result.push_back(predicate);
+  }
+  return result;
+}
+
+void Query::Canonicalize() {
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  std::sort(joins.begin(), joins.end());
+  joins.erase(std::unique(joins.begin(), joins.end()), joins.end());
+  std::sort(predicates.begin(), predicates.end(),
+            [](const Predicate& a, const Predicate& b) {
+              if (a.table != b.table) return a.table < b.table;
+              if (a.column != b.column) return a.column < b.column;
+              if (a.op != b.op) return a.op < b.op;
+              return a.literal < b.literal;
+            });
+}
+
+std::string Query::CanonicalKey() const { return Serialize(); }
+
+std::string Query::ToSql(const Schema& schema) const {
+  std::vector<std::string> from;
+  from.reserve(tables.size());
+  for (TableId table : tables) from.push_back(schema.table(table).name);
+
+  std::vector<std::string> where;
+  for (int join : joins) {
+    const JoinEdgeDef& edge = schema.join_edge(join);
+    where.push_back(
+        schema.QualifiedColumnName(edge.left_table, edge.left_column) + " = " +
+        schema.QualifiedColumnName(edge.right_table, edge.right_column));
+  }
+  for (const Predicate& predicate : predicates) {
+    where.push_back(
+        schema.QualifiedColumnName(predicate.table, predicate.column) + " " +
+        CompareOpSymbol(predicate.op) + " " +
+        Format("%d", predicate.literal));
+  }
+  std::string sql = "SELECT COUNT(*) FROM " + Join(from, ", ");
+  if (!where.empty()) sql += " WHERE " + Join(where, " AND ");
+  return sql + ";";
+}
+
+std::string Query::Serialize() const {
+  std::string text = "T:";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) text += ',';
+    text += Format("%d", tables[i]);
+  }
+  text += "|J:";
+  for (size_t i = 0; i < joins.size(); ++i) {
+    if (i > 0) text += ',';
+    text += Format("%d", joins[i]);
+  }
+  text += "|P:";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) text += ',';
+    const Predicate& p = predicates[i];
+    text += Format("%d.%d%s%d", p.table, p.column, CompareOpSymbol(p.op),
+                   p.literal);
+  }
+  return text;
+}
+
+namespace {
+
+Status ParseIntList(std::string_view text, std::vector<int>* out) {
+  if (text.empty()) return Status::OK();
+  for (const std::string& piece : Split(text, ',')) {
+    char* end = nullptr;
+    const long value = std::strtol(piece.c_str(), &end, 10);
+    if (end == piece.c_str() || *end != '\0') {
+      return Status::Corruption("bad integer in query: " + piece);
+    }
+    out->push_back(static_cast<int>(value));
+  }
+  return Status::OK();
+}
+
+Status ParsePredicate(const std::string& text, Predicate* out) {
+  // Form: "<table>.<column><op><literal>" with op one of = < >.
+  const size_t dot = text.find('.');
+  if (dot == std::string::npos) return Status::Corruption("missing '.'");
+  size_t op_pos = text.find_first_of("=<>", dot);
+  if (op_pos == std::string::npos) return Status::Corruption("missing op");
+  out->table = static_cast<TableId>(std::atoi(text.substr(0, dot).c_str()));
+  out->column = std::atoi(text.substr(dot + 1, op_pos - dot - 1).c_str());
+  switch (text[op_pos]) {
+    case '=':
+      out->op = CompareOp::kEq;
+      break;
+    case '<':
+      out->op = CompareOp::kLt;
+      break;
+    case '>':
+      out->op = CompareOp::kGt;
+      break;
+    default:
+      return Status::Corruption("bad op");
+  }
+  out->literal =
+      static_cast<int32_t>(std::atol(text.substr(op_pos + 1).c_str()));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Query> Query::Deserialize(std::string_view text) {
+  const std::vector<std::string> sections = Split(text, '|');
+  if (sections.size() != 3 || !StartsWith(sections[0], "T:") ||
+      !StartsWith(sections[1], "J:") || !StartsWith(sections[2], "P:")) {
+    return Status::Corruption("malformed query text");
+  }
+  Query query;
+  std::vector<int> tables;
+  LC_RETURN_IF_ERROR(
+      ParseIntList(std::string_view(sections[0]).substr(2), &tables));
+  for (int table : tables) query.tables.push_back(table);
+  LC_RETURN_IF_ERROR(
+      ParseIntList(std::string_view(sections[1]).substr(2), &query.joins));
+  const std::string_view predicates_text =
+      std::string_view(sections[2]).substr(2);
+  if (!predicates_text.empty()) {
+    for (const std::string& piece : Split(predicates_text, ',')) {
+      Predicate predicate;
+      LC_RETURN_IF_ERROR(ParsePredicate(piece, &predicate));
+      query.predicates.push_back(predicate);
+    }
+  }
+  query.Canonicalize();
+  return query;
+}
+
+}  // namespace lc

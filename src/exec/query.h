@@ -1,0 +1,78 @@
+// The query intermediate representation shared by the generator, the exact
+// executor, all estimators and the featurizer: a conjunctive equi-join query
+//   SELECT COUNT(*) FROM T1, ..., Tk WHERE <joins> AND <predicates>
+// exactly the class the paper trains and evaluates on (section 3.1).
+
+#ifndef LC_EXEC_QUERY_H_
+#define LC_EXEC_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "util/status.h"
+
+namespace lc {
+
+/// Predicate comparison operator (the paper's {=, <, >}).
+enum class CompareOp : uint8_t {
+  kEq = 0,
+  kLt = 1,
+  kGt = 2,
+};
+inline constexpr int kNumCompareOps = 3;
+
+/// SQL rendering of an operator.
+const char* CompareOpSymbol(CompareOp op);
+
+/// A base-table predicate `table.column op literal`.
+struct Predicate {
+  TableId table = -1;
+  int column = -1;
+  CompareOp op = CompareOp::kEq;
+  int32_t literal = 0;
+
+  /// SQL three-valued logic collapsed to boolean: NULL never matches.
+  bool Matches(int32_t raw_value) const;
+
+  bool operator==(const Predicate& other) const = default;
+};
+
+/// A conjunctive equi-join query over a Schema. `joins` holds indices into
+/// Schema::join_edges(). Kept canonical (sorted, duplicate-free) by
+/// Canonicalize(); the generator and parsers always produce canonical
+/// queries.
+struct Query {
+  std::vector<TableId> tables;
+  std::vector<int> joins;
+  std::vector<Predicate> predicates;
+
+  int num_tables() const { return static_cast<int>(tables.size()); }
+  int num_joins() const { return static_cast<int>(joins.size()); }
+  bool UsesTable(TableId table) const;
+
+  /// The predicates restricted to one table.
+  std::vector<Predicate> PredicatesFor(TableId table) const;
+
+  /// Sorts tables/joins/predicates into the canonical order used for
+  /// equality and hashing.
+  void Canonicalize();
+
+  /// Stable text key identifying the query up to set semantics; used for
+  /// de-duplication in the generator.
+  std::string CanonicalKey() const;
+
+  /// Human-readable SQL (for logs/examples).
+  std::string ToSql(const Schema& schema) const;
+
+  /// Compact single-line text form: "T:0,1|J:0|P:0.1>2005,1.2=3".
+  std::string Serialize() const;
+  static StatusOr<Query> Deserialize(std::string_view text);
+
+  bool operator==(const Query& other) const = default;
+};
+
+}  // namespace lc
+
+#endif  // LC_EXEC_QUERY_H_

@@ -1,0 +1,48 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lc {
+
+Adam::Adam(std::vector<Parameter*> parameters, AdamConfig config)
+    : parameters_(std::move(parameters)), config_(config) {
+  LC_CHECK(!parameters_.empty());
+  first_moments_.reserve(parameters_.size());
+  second_moments_.reserve(parameters_.size());
+  for (Parameter* param : parameters_) {
+    LC_CHECK(param != nullptr);
+    first_moments_.emplace_back(param->value.shape());
+    second_moments_.emplace_back(param->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float t = static_cast<float>(step_count_);
+  const float bias1 = 1.0f - std::pow(config_.beta1, t);
+  const float bias2 = 1.0f - std::pow(config_.beta2, t);
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    Parameter& param = *parameters_[p];
+    Tensor& m = first_moments_[p];
+    Tensor& v = second_moments_[p];
+    const int64_t n = param.value.size();
+    LC_DCHECK_EQ(param.grad.size(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      const float g = param.grad[i];
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      param.value[i] -=
+          config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* param : parameters_) param->ZeroGrad();
+}
+
+}  // namespace lc

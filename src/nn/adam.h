@@ -1,0 +1,49 @@
+// Adam optimizer (Kingma & Ba, 2014) — the optimizer the paper trains MSCN
+// with (section 3.2).
+
+#ifndef LC_NN_ADAM_H_
+#define LC_NN_ADAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tape.h"
+#include "nn/tensor.h"
+
+namespace lc {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;  // The paper's default (section 4.6).
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+};
+
+/// Stateful Adam over a fixed set of parameters. The parameters must outlive
+/// the optimizer.
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> parameters, AdamConfig config = {});
+
+  /// Applies one update using the gradients accumulated in each parameter,
+  /// then leaves the gradients untouched (call ZeroGrad before the next
+  /// forward pass).
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  int64_t step_count() const { return step_count_; }
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  std::vector<Parameter*> parameters_;
+  AdamConfig config_;
+  std::vector<Tensor> first_moments_;
+  std::vector<Tensor> second_moments_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace lc
+
+#endif  // LC_NN_ADAM_H_

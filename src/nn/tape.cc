@@ -1,0 +1,366 @@
+#include "nn/tape.h"
+
+#include <cmath>
+#include <utility>
+
+namespace lc {
+
+Tape::NodeId Tape::AddNode(Tensor value, bool requires_grad,
+                           std::function<void(Tape*)> backward) {
+  nodes_.push_back(Node{std::move(value), Tensor(), nullptr, requires_grad,
+                        std::move(backward)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Tape::Node& Tape::node(NodeId id) {
+  LC_DCHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+Tensor& Tape::GradRef(NodeId id) {
+  Node& n = node(id);
+  if (n.grad.empty()) n.grad = Tensor(n.value.shape());
+  return n.grad;
+}
+
+const Tensor& Tape::value(NodeId id) const {
+  return const_cast<Tape*>(this)->node(id).value;
+}
+
+const Tensor& Tape::grad(NodeId id) const {
+  Tape* self = const_cast<Tape*>(this);
+  return self->GradRef(id);
+}
+
+Tape::NodeId Tape::Constant(Tensor value) {
+  return AddNode(std::move(value), /*requires_grad=*/false, nullptr);
+}
+
+Tape::NodeId Tape::Leaf(Parameter* param) {
+  LC_CHECK(param != nullptr);
+  const NodeId id = AddNode(param->value, /*requires_grad=*/true, nullptr);
+  node(id).param = param;
+  return id;
+}
+
+Tape::NodeId Tape::MatMul(NodeId a, NodeId b) {
+  Tensor out;
+  lc::MatMul(value(a), value(b), &out);
+  const bool needs = node(a).requires_grad || node(b).requires_grad;
+  const NodeId id = AddNode(std::move(out), needs, nullptr);
+  // C = A * B:  dA += dC * B^T,  dB += A^T * dC.
+  node(id).backward = [a, b, id](Tape* tape) {
+    const Tensor& dc = tape->GradRef(id);
+    if (tape->node(a).requires_grad) {
+      MatMulTransB(dc, tape->value(b), &tape->GradRef(a),
+                   /*accumulate=*/true);
+    }
+    if (tape->node(b).requires_grad) {
+      MatMulTransA(tape->value(a), dc, &tape->GradRef(b),
+                   /*accumulate=*/true);
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::AddBias(NodeId x, NodeId bias) {
+  const Tensor& input = value(x);
+  const Tensor& b = value(bias);
+  LC_CHECK_EQ(input.rank(), 2);
+  LC_CHECK_EQ(b.rank(), 1);
+  LC_CHECK_EQ(input.dim(1), b.dim(0));
+  Tensor out = input;
+  const int64_t rows = input.dim(0);
+  const int64_t cols = input.dim(1);
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = out.data() + i * cols;
+    for (int64_t j = 0; j < cols; ++j) row[j] += b[j];
+  }
+  const bool needs = node(x).requires_grad || node(bias).requires_grad;
+  const NodeId id = AddNode(std::move(out), needs, nullptr);
+  node(id).backward = [x, bias, id, rows, cols](Tape* tape) {
+    const Tensor& dout = tape->GradRef(id);
+    if (tape->node(x).requires_grad) {
+      Tensor& dx = tape->GradRef(x);
+      for (int64_t i = 0; i < dout.size(); ++i) dx[i] += dout[i];
+    }
+    if (tape->node(bias).requires_grad) {
+      Tensor& db = tape->GradRef(bias);
+      for (int64_t i = 0; i < rows; ++i) {
+        const float* row = dout.data() + i * cols;
+        for (int64_t j = 0; j < cols; ++j) db[j] += row[j];
+      }
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::Relu(NodeId x) {
+  Tensor out = value(x);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  const NodeId id = AddNode(std::move(out), node(x).requires_grad, nullptr);
+  node(id).backward = [x, id](Tape* tape) {
+    if (!tape->node(x).requires_grad) return;
+    const Tensor& out_value = tape->value(id);
+    const Tensor& dout = tape->GradRef(id);
+    Tensor& dx = tape->GradRef(x);
+    for (int64_t i = 0; i < dout.size(); ++i) {
+      if (out_value[i] > 0.0f) dx[i] += dout[i];
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::Sigmoid(NodeId x) {
+  Tensor out = value(x);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  const NodeId id = AddNode(std::move(out), node(x).requires_grad, nullptr);
+  node(id).backward = [x, id](Tape* tape) {
+    if (!tape->node(x).requires_grad) return;
+    const Tensor& s = tape->value(id);
+    const Tensor& dout = tape->GradRef(id);
+    Tensor& dx = tape->GradRef(x);
+    for (int64_t i = 0; i < dout.size(); ++i) {
+      dx[i] += dout[i] * s[i] * (1.0f - s[i]);
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::Add(NodeId a, NodeId b) {
+  const Tensor& lhs = value(a);
+  const Tensor& rhs = value(b);
+  LC_CHECK(lhs.shape() == rhs.shape());
+  Tensor out = lhs;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] += rhs[i];
+  const bool needs = node(a).requires_grad || node(b).requires_grad;
+  const NodeId id = AddNode(std::move(out), needs, nullptr);
+  node(id).backward = [a, b, id](Tape* tape) {
+    const Tensor& dout = tape->GradRef(id);
+    for (NodeId input : {a, b}) {
+      if (!tape->node(input).requires_grad) continue;
+      Tensor& din = tape->GradRef(input);
+      for (int64_t i = 0; i < dout.size(); ++i) din[i] += dout[i];
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::Scale(NodeId x, float factor) {
+  Tensor out = value(x);
+  for (int64_t i = 0; i < out.size(); ++i) out[i] *= factor;
+  const NodeId id = AddNode(std::move(out), node(x).requires_grad, nullptr);
+  node(id).backward = [x, id, factor](Tape* tape) {
+    if (!tape->node(x).requires_grad) return;
+    const Tensor& dout = tape->GradRef(id);
+    Tensor& dx = tape->GradRef(x);
+    for (int64_t i = 0; i < dout.size(); ++i) dx[i] += factor * dout[i];
+  };
+  return id;
+}
+
+Tape::NodeId Tape::MaskedMean(NodeId x, NodeId mask, int64_t batch,
+                              int64_t set_size) {
+  const Tensor& input = value(x);
+  const Tensor& m = value(mask);
+  LC_CHECK_EQ(input.rank(), 2);
+  LC_CHECK_EQ(input.dim(0), batch * set_size);
+  LC_CHECK_EQ(m.rank(), 1);
+  LC_CHECK_EQ(m.dim(0), batch * set_size);
+  LC_CHECK(!node(mask).requires_grad) << "mask must be a constant";
+  const int64_t dim = input.dim(1);
+  Tensor out({batch, dim});
+  // Per-batch element counts, reused by the backward pass.
+  std::vector<float> inv_counts(static_cast<size_t>(batch), 0.0f);
+  for (int64_t b = 0; b < batch; ++b) {
+    float count = 0.0f;
+    float* out_row = out.data() + b * dim;
+    for (int64_t s = 0; s < set_size; ++s) {
+      const int64_t row = b * set_size + s;
+      const float weight = m[row];
+      if (weight == 0.0f) continue;
+      count += weight;
+      const float* in_row = input.data() + row * dim;
+      for (int64_t j = 0; j < dim; ++j) out_row[j] += weight * in_row[j];
+    }
+    if (count > 0.0f) {
+      const float inv = 1.0f / count;
+      inv_counts[static_cast<size_t>(b)] = inv;
+      for (int64_t j = 0; j < dim; ++j) out_row[j] *= inv;
+    }
+  }
+  const NodeId id = AddNode(std::move(out), node(x).requires_grad, nullptr);
+  node(id).backward = [x, mask, id, batch, set_size, dim,
+                       inv_counts = std::move(inv_counts)](Tape* tape) {
+    if (!tape->node(x).requires_grad) return;
+    const Tensor& dout = tape->GradRef(id);
+    const Tensor& m = tape->value(mask);
+    Tensor& dx = tape->GradRef(x);
+    for (int64_t b = 0; b < batch; ++b) {
+      const float inv = inv_counts[static_cast<size_t>(b)];
+      if (inv == 0.0f) continue;
+      const float* dout_row = dout.data() + b * dim;
+      for (int64_t s = 0; s < set_size; ++s) {
+        const int64_t row = b * set_size + s;
+        const float weight = m[row];
+        if (weight == 0.0f) continue;
+        float* dx_row = dx.data() + row * dim;
+        const float scale = weight * inv;
+        for (int64_t j = 0; j < dim; ++j) dx_row[j] += scale * dout_row[j];
+      }
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::ConcatCols(const std::vector<NodeId>& parts) {
+  LC_CHECK(!parts.empty());
+  const int64_t rows = value(parts[0]).dim(0);
+  int64_t total_cols = 0;
+  bool needs = false;
+  for (NodeId part : parts) {
+    LC_CHECK_EQ(value(part).rank(), 2);
+    LC_CHECK_EQ(value(part).dim(0), rows);
+    total_cols += value(part).dim(1);
+    needs = needs || node(part).requires_grad;
+  }
+  Tensor out({rows, total_cols});
+  int64_t col_offset = 0;
+  for (NodeId part : parts) {
+    const Tensor& p = value(part);
+    const int64_t cols = p.dim(1);
+    for (int64_t i = 0; i < rows; ++i) {
+      const float* src = p.data() + i * cols;
+      float* dst = out.data() + i * total_cols + col_offset;
+      for (int64_t j = 0; j < cols; ++j) dst[j] = src[j];
+    }
+    col_offset += cols;
+  }
+  const NodeId id = AddNode(std::move(out), needs, nullptr);
+  node(id).backward = [parts, id, rows, total_cols](Tape* tape) {
+    const Tensor& dout = tape->GradRef(id);
+    int64_t col_offset = 0;
+    for (NodeId part : parts) {
+      const int64_t cols = tape->value(part).dim(1);
+      if (tape->node(part).requires_grad) {
+        Tensor& dpart = tape->GradRef(part);
+        for (int64_t i = 0; i < rows; ++i) {
+          const float* src = dout.data() + i * total_cols + col_offset;
+          float* dst = dpart.data() + i * cols;
+          for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+        }
+      }
+      col_offset += cols;
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::MeanQErrorLoss(NodeId pred, const Tensor& target,
+                                  float log_range) {
+  const Tensor& p = value(pred);
+  LC_CHECK(p.shape() == target.shape());
+  LC_CHECK_GT(log_range, 0.0f);
+  const int64_t n = p.size();
+  // q_i = exp(log_range * |p_i - t_i|); loss = mean_i q_i.
+  Tensor qerrors({n});
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    qerrors[i] = std::exp(log_range * std::fabs(p[i] - target[i]));
+    total += qerrors[i];
+  }
+  Tensor out({1});
+  out[0] = static_cast<float>(total / static_cast<double>(n));
+  const NodeId id = AddNode(std::move(out), node(pred).requires_grad, nullptr);
+  node(id).backward = [pred, id, target, log_range, n,
+                       qerrors = std::move(qerrors)](Tape* tape) {
+    if (!tape->node(pred).requires_grad) return;
+    const float dloss = tape->GradRef(id)[0];
+    const Tensor& p = tape->value(pred);
+    Tensor& dp = tape->GradRef(pred);
+    const float scale = dloss * log_range / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const float sign = p[i] >= target[i] ? 1.0f : -1.0f;
+      dp[i] += scale * sign * qerrors[i];
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::GeoQErrorLoss(NodeId pred, const Tensor& target,
+                                 float log_range) {
+  const Tensor& p = value(pred);
+  LC_CHECK(p.shape() == target.shape());
+  const int64_t n = p.size();
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += log_range * std::fabs(p[i] - target[i]);
+  }
+  Tensor out({1});
+  out[0] = static_cast<float>(total / static_cast<double>(n));
+  const NodeId id = AddNode(std::move(out), node(pred).requires_grad, nullptr);
+  node(id).backward = [pred, id, target, log_range, n](Tape* tape) {
+    if (!tape->node(pred).requires_grad) return;
+    const float dloss = tape->GradRef(id)[0];
+    const Tensor& p = tape->value(pred);
+    Tensor& dp = tape->GradRef(pred);
+    const float scale = dloss * log_range / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      // Subgradient 0 at the (measure-zero) kink.
+      if (p[i] > target[i]) {
+        dp[i] += scale;
+      } else if (p[i] < target[i]) {
+        dp[i] -= scale;
+      }
+    }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::MseLoss(NodeId pred, const Tensor& target) {
+  const Tensor& p = value(pred);
+  LC_CHECK(p.shape() == target.shape());
+  const int64_t n = p.size();
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double diff = p[i] - target[i];
+    total += diff * diff;
+  }
+  Tensor out({1});
+  out[0] = static_cast<float>(total / static_cast<double>(n));
+  const NodeId id = AddNode(std::move(out), node(pred).requires_grad, nullptr);
+  node(id).backward = [pred, id, target, n](Tape* tape) {
+    if (!tape->node(pred).requires_grad) return;
+    const float dloss = tape->GradRef(id)[0];
+    const Tensor& p = tape->value(pred);
+    Tensor& dp = tape->GradRef(pred);
+    const float scale = dloss * 2.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) dp[i] += scale * (p[i] - target[i]);
+  };
+  return id;
+}
+
+void Tape::Backward(NodeId loss) {
+  Node& loss_node = node(loss);
+  LC_CHECK_EQ(loss_node.value.size(), 1)
+      << "Backward requires a scalar loss node";
+  LC_CHECK(loss_node.requires_grad)
+      << "loss does not depend on any parameter";
+  GradRef(loss).Fill(1.0f);
+  for (NodeId id = loss; id >= 0; --id) {
+    Node& n = node(id);
+    if (!n.requires_grad) continue;
+    if (n.backward) n.backward(this);
+    if (n.param != nullptr && !n.grad.empty()) {
+      Tensor& pgrad = n.param->grad;
+      LC_CHECK(pgrad.shape() == n.grad.shape());
+      for (int64_t i = 0; i < pgrad.size(); ++i) pgrad[i] += n.grad[i];
+    }
+  }
+}
+
+}  // namespace lc

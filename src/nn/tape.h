@@ -1,0 +1,127 @@
+// Tape-based reverse-mode automatic differentiation over lc::Tensor.
+//
+// A Tape records the forward computation of one mini-batch as a sequence of
+// nodes; Backward() replays it in reverse, accumulating gradients. Model
+// parameters live *outside* the tape (see Parameter); binding them with
+// Tape::Leaf makes Backward() deposit their gradients into Parameter::grad,
+// where the optimizer (nn/adam.h) finds them.
+//
+// The op set is exactly what the MSCN architecture (paper Figure 1) and its
+// training losses need, each with an analytically derived backward pass that
+// the test suite verifies against finite differences.
+
+#ifndef LC_NN_TAPE_H_
+#define LC_NN_TAPE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace lc {
+
+/// A trainable tensor: value plus gradient accumulator of the same shape.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  explicit Parameter(Tensor initial_value)
+      : value(std::move(initial_value)), grad(value.shape()) {}
+
+  /// Zeroes the gradient accumulator.
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+/// Records one forward computation; single use (build, Backward, discard).
+class Tape {
+ public:
+  using NodeId = int32_t;
+
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// A node with no gradient tracking (inputs, masks, targets).
+  NodeId Constant(Tensor value);
+
+  /// A node bound to an external parameter; Backward() accumulates into
+  /// `param->grad`. The parameter must outlive the tape.
+  NodeId Leaf(Parameter* param);
+
+  /// C(m,n) = A(m,k) * B(k,n).
+  NodeId MatMul(NodeId a, NodeId b);
+
+  /// Adds a rank-1 bias of length n to every row of x(m,n).
+  NodeId AddBias(NodeId x, NodeId bias);
+
+  /// Elementwise max(x, 0).
+  NodeId Relu(NodeId x);
+
+  /// Elementwise logistic sigmoid.
+  NodeId Sigmoid(NodeId x);
+
+  /// Elementwise sum; shapes must match.
+  NodeId Add(NodeId a, NodeId b);
+
+  /// Multiplies every element by a compile-time constant.
+  NodeId Scale(NodeId x, float factor);
+
+  /// Set-average pooling with masking (paper section 3.2): interprets
+  /// x(batch*set_size, dim) as `batch` sets of `set_size` padded elements and
+  /// returns (batch, dim) where row b is the mean of x over the rows whose
+  /// mask entry is 1. Rows of all-zero masks (empty sets) yield zero vectors.
+  /// `mask` must be a constant of shape (batch*set_size).
+  NodeId MaskedMean(NodeId x, NodeId mask, int64_t batch, int64_t set_size);
+
+  /// Concatenates 2-D nodes with equal row counts along columns.
+  NodeId ConcatCols(const std::vector<NodeId>& parts);
+
+  /// Mean q-error loss (paper section 3.2). `pred` is the sigmoid output in
+  /// [0,1]; `target` holds normalized true cardinalities of the same shape.
+  /// With log_range = max_log - min_log, the q-error of one pair is
+  /// exp(log_range * |pred - target|); the node value is the batch mean.
+  NodeId MeanQErrorLoss(NodeId pred, const Tensor& target, float log_range);
+
+  /// log(geometric mean q-error) = log_range * mean(|pred - target|); the
+  /// monotone surrogate the paper's section 4.8 alternative optimizes.
+  NodeId GeoQErrorLoss(NodeId pred, const Tensor& target, float log_range);
+
+  /// Mean squared error on the normalized values (section 4.8 alternative).
+  NodeId MseLoss(NodeId pred, const Tensor& target);
+
+  /// Value of a node (valid after the op that created it).
+  const Tensor& value(NodeId id) const;
+
+  /// Gradient of a node; valid after Backward().
+  const Tensor& grad(NodeId id) const;
+
+  /// Runs the backward pass from a scalar loss node (shape {1}), seeding its
+  /// gradient with 1 and accumulating parameter gradients.
+  void Backward(NodeId loss);
+
+  /// Number of recorded nodes (for tests).
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;  // Allocated lazily by GradRef.
+    Parameter* param = nullptr;
+    bool requires_grad = false;
+    std::function<void(Tape*)> backward;  // Null for leaves/constants.
+  };
+
+  NodeId AddNode(Tensor value, bool requires_grad,
+                 std::function<void(Tape*)> backward);
+  Node& node(NodeId id);
+  // Gradient tensor of `id`, allocated (zeroed) on first use.
+  Tensor& GradRef(NodeId id);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lc
+
+#endif  // LC_NN_TAPE_H_

@@ -1,0 +1,190 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lc {
+
+namespace {
+
+int64_t ElementCount(const std::vector<int64_t>& shape) {
+  int64_t count = 1;
+  for (int64_t dim : shape) {
+    LC_CHECK_GT(dim, 0) << "tensor dimensions must be positive";
+    count *= dim;
+  }
+  return count;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  LC_CHECK(!shape_.empty());
+  LC_CHECK_LE(shape_.size(), 3u);
+  data_.assign(static_cast<size_t>(ElementCount(shape_)), 0.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor tensor(std::move(shape));
+  tensor.Fill(value);
+  return tensor;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, float stddev, Rng* rng) {
+  Tensor tensor(std::move(shape));
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    tensor[i] = stddev * static_cast<float>(rng->Gaussian());
+  }
+  return tensor;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  LC_CHECK(!values.empty());
+  Tensor tensor({static_cast<int64_t>(values.size())});
+  std::copy(values.begin(), values.end(), tensor.data());
+  return tensor;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  LC_DCHECK(i >= 0 && i < rank());
+  return shape_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t row, int64_t col) {
+  LC_DCHECK_EQ(rank(), 2);
+  LC_DCHECK(row >= 0 && row < dim(0));
+  LC_DCHECK(col >= 0 && col < dim(1));
+  return data_[static_cast<size_t>(row * dim(1) + col)];
+}
+
+float Tensor::at(int64_t row, int64_t col) const {
+  return const_cast<Tensor*>(this)->at(row, col);
+}
+
+void Tensor::ReshapeInPlace(std::vector<int64_t> shape) {
+  LC_CHECK_EQ(ElementCount(shape), size());
+  LC_CHECK_LE(shape.size(), 3u);
+  shape_ = std::move(shape);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Tensor::Equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+float Tensor::MaxAbsDiff(const Tensor& other) const {
+  LC_CHECK(shape_ == other.shape_);
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string Tensor::DebugString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << "x";
+    os << shape_[i];
+  }
+  os << "]{";
+  const int64_t preview = std::min<int64_t>(size(), 8);
+  for (int64_t i = 0; i < preview; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (size() > preview) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c, bool accumulate) {
+  LC_CHECK_EQ(a.rank(), 2);
+  LC_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  LC_CHECK_EQ(b.dim(0), k);
+  if (c->rank() != 2 || c->dim(0) != m || c->dim(1) != n) {
+    *c = Tensor({m, n});
+  } else if (!accumulate) {
+    c->Fill(0.0f);
+  }
+  const float* a_data = a.data();
+  const float* b_data = b.data();
+  float* c_data = c->data();
+  // ikj loop order: unit-stride inner loops vectorize well under -O3.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a_data + i * k;
+    float* c_row = c_data + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;  // One-hot inputs make this common.
+      const float* b_row = b_data + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* c,
+                  bool accumulate) {
+  LC_CHECK_EQ(a.rank(), 2);
+  LC_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  LC_CHECK_EQ(b.dim(0), m);
+  if (c->rank() != 2 || c->dim(0) != k || c->dim(1) != n) {
+    *c = Tensor({k, n});
+  } else if (!accumulate) {
+    c->Fill(0.0f);
+  }
+  const float* a_data = a.data();
+  const float* b_data = b.data();
+  float* c_data = c->data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a_data + i * k;
+    const float* b_row = b_data + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      float* c_row = c_data + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* c,
+                  bool accumulate) {
+  LC_CHECK_EQ(a.rank(), 2);
+  LC_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  const int64_t k = b.dim(0);
+  LC_CHECK_EQ(b.dim(1), n);
+  if (c->rank() != 2 || c->dim(0) != m || c->dim(1) != k) {
+    *c = Tensor({m, k});
+  } else if (!accumulate) {
+    c->Fill(0.0f);
+  }
+  const float* a_data = a.data();
+  const float* b_data = b.data();
+  float* c_data = c->data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a_data + i * n;
+    float* c_row = c_data + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* b_row = b_data + p * n;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += a_row[j] * b_row[j];
+      c_row[p] += dot;
+    }
+  }
+}
+
+}  // namespace lc

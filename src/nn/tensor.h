@@ -1,0 +1,84 @@
+// Dense float32 tensor (rank 1-3) plus the matrix kernels the MSCN model
+// needs. This module is the substrate standing in for PyTorch: the tensors
+// here carry no autograd state — differentiation lives in nn/tape.h.
+
+#ifndef LC_NN_TENSOR_H_
+#define LC_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lc {
+
+/// Row-major dense float tensor with value semantics (copies are deep).
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-filled tensor of the given shape. All dimensions must be positive.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  static Tensor Zeros(std::vector<int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(std::vector<int64_t> shape, float stddev, Rng* rng);
+  /// 1-D tensor wrapping the given values.
+  static Tensor FromVector(const std::vector<float>& values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t i) const;
+  /// Total number of elements.
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 2-D element access (row, col); bounds-checked in debug builds.
+  float& at(int64_t row, int64_t col);
+  float at(int64_t row, int64_t col) const;
+
+  /// Reinterprets the shape in place; the element count must not change.
+  void ReshapeInPlace(std::vector<int64_t> shape);
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// True if shapes and all elements match exactly.
+  bool Equals(const Tensor& other) const;
+
+  /// Maximum |a-b| over elements; shapes must match.
+  float MaxAbsDiff(const Tensor& other) const;
+
+  /// "[2x3]{1, 2, ...}" debugging text (first elements only).
+  std::string DebugString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// C = A(m,k) * B(k,n), or C += ... when `accumulate`.
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c,
+            bool accumulate = false);
+
+/// C = A(m,k)^T * B(m,n) -> (k,n); used for weight gradients.
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* c,
+                  bool accumulate = false);
+
+/// C = A(m,n) * B(k,n)^T -> (m,k); used for input gradients.
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* c,
+                  bool accumulate = false);
+
+}  // namespace lc
+
+#endif  // LC_NN_TENSOR_H_

@@ -1,0 +1,77 @@
+#include "sample/sample.h"
+
+#include <algorithm>
+
+#include "db/column.h"
+#include "util/check.h"
+
+namespace lc {
+
+TableSample::TableSample(const Table& table, size_t sample_size, Rng* rng)
+    : capacity_(sample_size), table_rows_(table.num_rows()) {
+  const size_t take = std::min(sample_size, table.num_rows());
+  const std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(table.num_rows(), take);
+  rows_.reserve(picks.size());
+  for (size_t pick : picks) rows_.push_back(static_cast<uint32_t>(pick));
+  std::sort(rows_.begin(), rows_.end());
+  values_.resize(static_cast<size_t>(table.num_columns()));
+  for (int column = 0; column < table.num_columns(); ++column) {
+    std::vector<int32_t>& out = values_[static_cast<size_t>(column)];
+    out.reserve(take);
+    const Column& data = table.column(column);
+    for (uint32_t row : rows_) out.push_back(data.raw(row));
+  }
+}
+
+BitVector TableSample::QualifyingBitmap(
+    const std::vector<Predicate>& predicates) const {
+  BitVector bitmap(capacity_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    bool matches = true;
+    for (const Predicate& predicate : predicates) {
+      if (!predicate.Matches(raw(predicate.column, i))) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) bitmap.Set(i);
+  }
+  return bitmap;
+}
+
+int64_t TableSample::QualifyingCount(
+    const std::vector<Predicate>& predicates) const {
+  int64_t count = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    bool matches = true;
+    for (const Predicate& predicate : predicates) {
+      if (!predicate.Matches(raw(predicate.column, i))) {
+        matches = false;
+        break;
+      }
+    }
+    count += matches;
+  }
+  return count;
+}
+
+SampleSet::SampleSet(const Database* db, size_t sample_size, uint64_t seed)
+    : sample_size_(sample_size), seed_(seed) {
+  LC_CHECK(db != nullptr);
+  LC_CHECK_GT(sample_size, 0u);
+  Rng rng(seed);
+  samples_.reserve(static_cast<size_t>(db->schema().num_tables()));
+  for (TableId table = 0; table < db->schema().num_tables(); ++table) {
+    Rng table_rng = rng.Split();
+    samples_.emplace_back(db->table(table), sample_size, &table_rng);
+  }
+}
+
+const TableSample& SampleSet::sample(TableId table) const {
+  LC_CHECK(table >= 0 &&
+           static_cast<size_t>(table) < samples_.size());
+  return samples_[static_cast<size_t>(table)];
+}
+
+}  // namespace lc

@@ -1,0 +1,75 @@
+// Materialized per-table samples and the qualifying-sample bitmaps of paper
+// section 3.4. The same samples feed three consumers: MSCN's bitmap
+// features, the Random Sampling estimator, and IBJS's starting tuples —
+// exactly as in the paper's evaluation, which runs all of them on one shared
+// sample set ("using MSCN's random seed", section 4.2).
+
+#ifndef LC_SAMPLE_SAMPLE_H_
+#define LC_SAMPLE_SAMPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/query.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace lc {
+
+/// A uniform without-replacement sample of one table, materialized column-
+/// wise so predicate evaluation never touches the base table.
+class TableSample {
+ public:
+  /// Samples min(sample_size, num_rows) rows of `table` using `rng`.
+  TableSample(const Table& table, size_t sample_size, Rng* rng);
+
+  /// Number of sampled rows (== capacity unless the table is smaller).
+  size_t size() const { return rows_.size(); }
+  /// The bitmap length the featurizer uses (fixed, even for small tables).
+  size_t capacity() const { return capacity_; }
+  /// Base-table row id of sample position `i`.
+  uint32_t row(size_t i) const { return rows_[i]; }
+  /// Total rows in the sampled table (for extrapolation).
+  size_t table_rows() const { return table_rows_; }
+
+  /// Raw value of `column` at sample position `i` (kNullValue for NULL).
+  int32_t raw(int column, size_t i) const {
+    return values_[static_cast<size_t>(column)][i];
+  }
+
+  /// Positions of sample tuples satisfying all `predicates` (which must all
+  /// reference this sample's table). Length == capacity(); positions past
+  /// size() are always zero.
+  BitVector QualifyingBitmap(const std::vector<Predicate>& predicates) const;
+
+  /// Number of qualifying sample tuples (the paper's "#samples" feature).
+  int64_t QualifyingCount(const std::vector<Predicate>& predicates) const;
+
+ private:
+  size_t capacity_;
+  size_t table_rows_;
+  std::vector<uint32_t> rows_;
+  // values_[column][position]; one vector per table column.
+  std::vector<std::vector<int32_t>> values_;
+};
+
+/// The shared sample set: one TableSample per schema table, all drawn from
+/// one seeded generator.
+class SampleSet {
+ public:
+  SampleSet(const Database* db, size_t sample_size, uint64_t seed);
+
+  const TableSample& sample(TableId table) const;
+  size_t sample_size() const { return sample_size_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  size_t sample_size_;
+  uint64_t seed_;
+  std::vector<TableSample> samples_;
+};
+
+}  // namespace lc
+
+#endif  // LC_SAMPLE_SAMPLE_H_

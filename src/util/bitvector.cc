@@ -1,0 +1,91 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+namespace lc {
+
+BitVector::BitVector(size_t size, bool value) : size_(size) {
+  words_.assign((size + 63) / 64, value ? ~uint64_t{0} : 0);
+  if (value && size % 64 != 0 && !words_.empty()) {
+    // Keep unused high bits zero so Count()/equality stay exact.
+    words_.back() &= (uint64_t{1} << (size % 64)) - 1;
+  }
+}
+
+void BitVector::Set(size_t index, bool value) {
+  LC_DCHECK_LT(index, size_);
+  const uint64_t mask = uint64_t{1} << (index % 64);
+  if (value) {
+    words_[index / 64] |= mask;
+  } else {
+    words_[index / 64] &= ~mask;
+  }
+}
+
+bool BitVector::Test(size_t index) const {
+  LC_DCHECK_LT(index, size_);
+  return (words_[index / 64] >> (index % 64)) & 1;
+}
+
+size_t BitVector::Count() const {
+  size_t total = 0;
+  for (uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+void BitVector::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+BitVector BitVector::And(const BitVector& other) const {
+  LC_CHECK_EQ(size_, other.size_);
+  BitVector result(size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    result.words_[i] = words_[i] & other.words_[i];
+  }
+  return result;
+}
+
+BitVector BitVector::Or(const BitVector& other) const {
+  LC_CHECK_EQ(size_, other.size_);
+  BitVector result(size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    result.words_[i] = words_[i] | other.words_[i];
+  }
+  return result;
+}
+
+std::vector<size_t> BitVector::SetIndices() const {
+  std::vector<size_t> indices;
+  indices.reserve(Count());
+  for (size_t i = 0; i < size_; ++i) {
+    if (Test(i)) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::string BitVector::ToBytes() const {
+  std::string bytes((size_ + 7) / 8, '\0');
+  for (size_t i = 0; i < size_; ++i) {
+    if (Test(i)) bytes[i / 8] |= static_cast<char>(1 << (i % 8));
+  }
+  return bytes;
+}
+
+bool BitVector::FromBytes(size_t size, const std::string& bytes,
+                          BitVector* out) {
+  if (bytes.size() != (size + 7) / 8) return false;
+  *out = BitVector(size);
+  for (size_t i = 0; i < size; ++i) {
+    if ((bytes[i / 8] >> (i % 8)) & 1) out->Set(i);
+  }
+  return true;
+}
+
+std::string BitVector::ToString() const {
+  std::string text(size_, '0');
+  for (size_t i = 0; i < size_; ++i) {
+    if (Test(i)) text[i] = '1';
+  }
+  return text;
+}
+
+}  // namespace lc

@@ -1,0 +1,71 @@
+// Compact bit vector used for sample bitmaps (section 3.4 of the paper) and
+// row selections.
+
+#ifndef LC_UTIL_BITVECTOR_H_
+#define LC_UTIL_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lc {
+
+/// Fixed-length sequence of bits with set/test/count operations.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t size, bool value = false);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Sets bit `index` to `value`.
+  void Set(size_t index, bool value = true);
+
+  /// Reads bit `index`.
+  bool Test(size_t index) const;
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// True when no bit is set.
+  bool None() const { return Count() == 0; }
+
+  /// Resets all bits to zero.
+  void Clear();
+
+  /// Bitwise AND with another vector of the same size.
+  BitVector And(const BitVector& other) const;
+
+  /// Bitwise OR with another vector of the same size.
+  BitVector Or(const BitVector& other) const;
+
+  /// Indices of the set bits, ascending.
+  std::vector<size_t> SetIndices() const;
+
+  /// "0101..."-style rendering, bit 0 first.
+  std::string ToString() const;
+
+  /// Packed little-endian bytes (ceil(size/8) of them); inverse of
+  /// FromBytes.
+  std::string ToBytes() const;
+
+  /// Rebuilds a bit vector of length `size` from ToBytes output. Fails on a
+  /// length mismatch.
+  static bool FromBytes(size_t size, const std::string& bytes, BitVector* out);
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace lc
+
+#endif  // LC_UTIL_BITVECTOR_H_

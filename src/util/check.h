@@ -1,0 +1,103 @@
+// Assertion macros in the style used by database engines (RocksDB, Arrow):
+// invariant violations are programmer errors and terminate the process with a
+// diagnostic. Library code that can fail on *user input* returns
+// lc::Status instead (see util/status.h).
+//
+// LC_CHECK(cond) << "message";          always on
+// LC_CHECK_EQ(a, b) / _NE / _LT / _LE / _GT / _GE
+// LC_DCHECK(...)                        debug builds only
+// LC_FATAL() << "message";              unconditional failure
+
+#ifndef LC_UTIL_CHECK_H_
+#define LC_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace lc {
+namespace internal {
+
+// Accumulates the streamed failure message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns the streamed expression into void so it can sit on one arm of the
+// ternary in the macros below (the glog "voidify" idiom). operator& binds
+// more loosely than operator<<, so the whole message chain runs first.
+struct Voidifier {
+  void operator&(const CheckFailureStream&) {}
+};
+
+// Swallows streamed messages for disabled checks; optimizes away entirely.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace lc
+
+#define LC_CHECK_IMPL(kind, condition_text, passed)                  \
+  (passed) ? (void)0                                                 \
+           : ::lc::internal::Voidifier() &                           \
+                 ::lc::internal::CheckFailureStream(kind, __FILE__,  \
+                                                    __LINE__,        \
+                                                    condition_text)
+
+#define LC_CHECK(condition) LC_CHECK_IMPL("LC_CHECK", #condition, (condition))
+
+#define LC_CHECK_OP(name, op, a, b) \
+  LC_CHECK_IMPL("LC_CHECK_" name, #a " " #op " " #b, ((a)op(b)))
+
+#define LC_CHECK_EQ(a, b) LC_CHECK_OP("EQ", ==, a, b)
+#define LC_CHECK_NE(a, b) LC_CHECK_OP("NE", !=, a, b)
+#define LC_CHECK_LT(a, b) LC_CHECK_OP("LT", <, a, b)
+#define LC_CHECK_LE(a, b) LC_CHECK_OP("LE", <=, a, b)
+#define LC_CHECK_GT(a, b) LC_CHECK_OP("GT", >, a, b)
+#define LC_CHECK_GE(a, b) LC_CHECK_OP("GE", >=, a, b)
+
+#define LC_FATAL()                                                        \
+  ::lc::internal::Voidifier() & ::lc::internal::CheckFailureStream(       \
+                                    "LC_FATAL", __FILE__, __LINE__, "")
+
+#ifdef NDEBUG
+#define LC_DCHECK(condition) \
+  while (false) ::lc::internal::NullStream() << !(condition)
+#define LC_DCHECK_EQ(a, b) LC_DCHECK((a) == (b))
+#define LC_DCHECK_LT(a, b) LC_DCHECK((a) < (b))
+#define LC_DCHECK_LE(a, b) LC_DCHECK((a) <= (b))
+#else
+#define LC_DCHECK(condition) LC_CHECK(condition)
+#define LC_DCHECK_EQ(a, b) LC_CHECK_EQ(a, b)
+#define LC_DCHECK_LT(a, b) LC_CHECK_LT(a, b)
+#define LC_DCHECK_LE(a, b) LC_CHECK_LE(a, b)
+#endif
+
+#endif  // LC_UTIL_CHECK_H_

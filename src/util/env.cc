@@ -1,0 +1,47 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <strings.h>
+
+namespace lc {
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return value;
+}
+
+bool GetEnvBool(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  if (std::strcmp(value, "1") == 0 || ::strcasecmp(value, "true") == 0 ||
+      ::strcasecmp(value, "yes") == 0) {
+    return true;
+  }
+  if (std::strcmp(value, "0") == 0 || ::strcasecmp(value, "false") == 0 ||
+      ::strcasecmp(value, "no") == 0) {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace lc

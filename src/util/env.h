@@ -1,0 +1,28 @@
+// Environment-variable configuration knobs. The experiment binaries read
+// their scale parameters through these helpers so a user can, e.g.,
+//   LC_TRAIN_QUERIES=100000 LC_HIDDEN_UNITS=256 ./bench/table2_synthetic_errors
+// to run at paper scale.
+
+#ifndef LC_UTIL_ENV_H_
+#define LC_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lc {
+
+/// Integer knob; returns `fallback` when unset or unparsable.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Floating-point knob; returns `fallback` when unset or unparsable.
+double GetEnvDouble(const char* name, double fallback);
+
+/// String knob; returns `fallback` when unset.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+/// Boolean knob; accepts 0/1/true/false/yes/no (case-insensitive).
+bool GetEnvBool(const char* name, bool fallback);
+
+}  // namespace lc
+
+#endif  // LC_UTIL_ENV_H_

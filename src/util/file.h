@@ -1,0 +1,36 @@
+// POSIX file helpers (the project avoids <filesystem> per the style guide).
+
+#ifndef LC_UTIL_FILE_H_
+#define LC_UTIL_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace lc {
+
+/// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// File size in bytes; NotFound if missing.
+StatusOr<int64_t> FileSize(const std::string& path);
+
+/// Reads the whole file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (truncating) the whole string to the file.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+/// Recursively creates a directory (mkdir -p semantics).
+Status MakeDirs(const std::string& path);
+
+/// Removes a file if present; OK if it did not exist.
+Status RemoveFile(const std::string& path);
+
+/// Joins two path components with exactly one separator.
+std::string PathJoin(const std::string& a, const std::string& b);
+
+}  // namespace lc
+
+#endif  // LC_UTIL_FILE_H_

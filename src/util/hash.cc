@@ -1,0 +1,36 @@
+#include "util/hash.h"
+
+#include <cstdio>
+
+namespace lc {
+
+namespace {
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = kFnvOffset;
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    seed ^= (value >> shift) & 0xffULL;
+    seed *= kFnvPrime;
+  }
+  return seed;
+}
+
+std::string HashToHex(uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace lc

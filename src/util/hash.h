@@ -1,0 +1,25 @@
+// Hashing helpers: FNV-1a for stable content fingerprints (artifact cache
+// keys) and a hash combiner for composite keys.
+
+#ifndef LC_UTIL_HASH_H_
+#define LC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lc {
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms and runs; used
+/// to key cached artifacts by their configuration.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Incrementally folds `value` into an FNV-1a style fingerprint.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Fixed-width lowercase hex rendering of a 64-bit fingerprint.
+std::string HashToHex(uint64_t hash);
+
+}  // namespace lc
+
+#endif  // LC_UTIL_HASH_H_

@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+
+namespace lc {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kSilent:
+      return "S";
+  }
+  return "?";
+}
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("LC_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  const int value = std::atoi(env);
+  if (value < 0 || value > 4) return LogLevel::kInfo;
+  return static_cast<LogLevel>(value);
+}
+
+std::atomic<int>& MinLevelStorage() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelStorage().store(static_cast<int>(level));
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(MinLevelStorage().load());
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  (void)level_;
+  std::cerr << stream_.str() << std::endl;
+}
+
+}  // namespace internal
+}  // namespace lc

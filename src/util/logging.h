@@ -1,0 +1,74 @@
+// Lightweight leveled logging to stderr.
+//
+//   LC_LOG(INFO) << "trained " << n << " epochs";
+//
+// The minimum level can be raised with SetMinLogLevel (benches use this to
+// keep table output clean) or the LC_LOG_LEVEL environment variable
+// (0=DEBUG, 1=INFO, 2=WARNING, 3=ERROR, 4=silent).
+
+#ifndef LC_UTIL_LOGGING_H_
+#define LC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lc {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+
+/// Current global minimum level (initialized from LC_LOG_LEVEL if set).
+LogLevel MinLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace lc
+
+#define LC_LOG_DEBUG ::lc::LogLevel::kDebug
+#define LC_LOG_INFO ::lc::LogLevel::kInfo
+#define LC_LOG_WARNING ::lc::LogLevel::kWarning
+#define LC_LOG_ERROR ::lc::LogLevel::kError
+
+#define LC_LOG(severity)                                             \
+  if (LC_LOG_##severity < ::lc::MinLogLevel())                       \
+    ;                                                                \
+  else                                                               \
+    ::lc::internal::LogMessage(LC_LOG_##severity, __FILE__, __LINE__)
+
+#endif  // LC_UTIL_LOGGING_H_

@@ -1,0 +1,155 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace lc {
+
+namespace {
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  LC_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = max() - max() % span;
+  uint64_t value = Next();
+  while (value >= limit) value = Next();
+  return lo + static_cast<int64_t>(value % span);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Gaussian() {
+  // Box-Muller; one value per call keeps the generator state trajectory
+  // simple and reproducible.
+  double u1 = UniformDouble();
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+int64_t Rng::Poisson(double mean) {
+  LC_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 30.0) {
+    const double value = mean + std::sqrt(mean) * Gaussian();
+    return value < 0.0 ? 0 : static_cast<int64_t>(value + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  int64_t count = -1;
+  double product = 1.0;
+  do {
+    ++count;
+    product *= UniformDouble();
+  } while (product > limit);
+  return count;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    LC_DCHECK(w >= 0.0);
+    total += w;
+  }
+  LC_CHECK_GT(total, 0.0) << "WeightedIndex requires a positive weight";
+  double target = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack.
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  LC_CHECK_LE(k, n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense regime: partial Fisher-Yates over an explicit index array.
+    std::vector<size_t> indices(n);
+    for (size_t i = 0; i < n; ++i) indices[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = static_cast<size_t>(
+          UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n - 1)));
+      std::swap(indices[i], indices[j]);
+    }
+    indices.resize(k);
+    return indices;
+  }
+  // Sparse regime: rejection into a hash set.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> result;
+  result.reserve(k);
+  while (result.size() < k) {
+    const size_t candidate =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n - 1)));
+    if (chosen.insert(candidate).second) result.push_back(candidate);
+  }
+  return result;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : n_(n), s_(s) {
+  LC_CHECK_GT(n, 0u);
+  LC_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& value : cdf_) value /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  LC_CHECK_LT(k, n_);
+  const double lower = k == 0 ? 0.0 : cdf_[k - 1];
+  return cdf_[k] - lower;
+}
+
+}  // namespace lc

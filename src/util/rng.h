@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through lc::Rng (xoshiro256**, seeded
+// via SplitMix64) so that data generation, workload generation, sampling and
+// model initialization are exactly reproducible from integer seeds. Rng
+// satisfies the UniformRandomBitGenerator requirements and can therefore be
+// used with <algorithm> and <random> facilities, but the member helpers
+// below are preferred: their results are stable across standard library
+// implementations.
+
+#ifndef LC_UTIL_RNG_H_
+#define LC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lc {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Poisson-distributed count with the given mean (Knuth's method for small
+  /// means, normal approximation above 30).
+  int64_t Poisson(double mean);
+
+  /// Uniformly selects an index in [0, weights.size()) proportional to
+  /// the (non-negative) weights. Requires at least one positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (size_t i = values->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n) in selection order.
+  /// Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator (stable split).
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed integers over {0, 1, ..., n-1} with exponent s, sampled
+/// in O(log n) via a precomputed CDF. s == 0 degenerates to uniform.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Draws one value in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of value k.
+  double Pmf(size_t k) const;
+
+ private:
+  size_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace lc
+
+#endif  // LC_UTIL_RNG_H_

@@ -1,0 +1,77 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lc {
+
+double QError(double estimate, double truth) {
+  const double est = std::max(estimate, 1.0);
+  const double tru = std::max(truth, 1.0);
+  return std::max(est / tru, tru / est);
+}
+
+double SignedQError(double estimate, double truth) {
+  const double est = std::max(estimate, 1.0);
+  const double tru = std::max(truth, 1.0);
+  if (est >= tru) return est / tru;
+  return -(tru / est);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  LC_CHECK(!values.empty());
+  LC_CHECK_GE(q, 0.0);
+  LC_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lower = static_cast<size_t>(pos);
+  const size_t upper = std::min(lower + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lower);
+  return values[lower] * (1.0 - frac) + values[upper] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  LC_CHECK(!values.empty());
+  double total = 0.0;
+  for (double value : values) total += value;
+  return total / static_cast<double>(values.size());
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  LC_CHECK(!values.empty());
+  double log_total = 0.0;
+  for (double value : values) {
+    LC_CHECK_GT(value, 0.0);
+    log_total += std::log(value);
+  }
+  return std::exp(log_total / static_cast<double>(values.size()));
+}
+
+ErrorSummary Summarize(const std::vector<double>& qerrors) {
+  ErrorSummary summary;
+  if (qerrors.empty()) return summary;
+  summary.median = Quantile(qerrors, 0.5);
+  summary.p90 = Quantile(qerrors, 0.9);
+  summary.p95 = Quantile(qerrors, 0.95);
+  summary.p99 = Quantile(qerrors, 0.99);
+  summary.max = *std::max_element(qerrors.begin(), qerrors.end());
+  summary.mean = Mean(qerrors);
+  summary.count = qerrors.size();
+  return summary;
+}
+
+BoxSummary SummarizeBox(const std::vector<double>& signed_qerrors) {
+  BoxSummary summary;
+  if (signed_qerrors.empty()) return summary;
+  summary.p5 = Quantile(signed_qerrors, 0.05);
+  summary.p25 = Quantile(signed_qerrors, 0.25);
+  summary.median = Quantile(signed_qerrors, 0.5);
+  summary.p75 = Quantile(signed_qerrors, 0.75);
+  summary.p95 = Quantile(signed_qerrors, 0.95);
+  summary.count = signed_qerrors.size();
+  return summary;
+}
+
+}  // namespace lc

@@ -1,0 +1,66 @@
+// Summary statistics used throughout the evaluation: quantiles, means, and
+// the q-error metric from Moerkotte et al. (PVLDB'09) that the paper
+// optimizes and reports.
+
+#ifndef LC_UTIL_STATS_H_
+#define LC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// The q-error between an estimate and a true value: the factor by which the
+/// estimate is off, q = max(est/truth, truth/est) >= 1. Zero or negative
+/// inputs are clamped to 1 row first (both the paper's evaluation and the
+/// reference implementation do this).
+double QError(double estimate, double truth);
+
+/// Signed q-error for the under/over-estimation axis of the paper's box
+/// plots: positive = overestimation factor, negative = underestimation
+/// factor; magnitude always >= 1.
+double SignedQError(double estimate, double truth);
+
+/// Quantile with linear interpolation between closest ranks (numpy
+/// "linear"); q in [0, 1]. Requires non-empty values. Does not need sorted
+/// input.
+double Quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean. Requires non-empty values.
+double Mean(const std::vector<double>& values);
+
+/// Geometric mean; requires strictly positive, non-empty values.
+double GeometricMean(const std::vector<double>& values);
+
+/// The row of percentile statistics the paper reports in Tables 2-4.
+struct ErrorSummary {
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+};
+
+/// Computes the paper-style summary over a set of q-errors.
+ErrorSummary Summarize(const std::vector<double>& qerrors);
+
+/// The box-plot summary used in Figures 3-5: 25th/50th/75th percentiles and
+/// the 95th-percentile "whisker", over *signed* q-errors.
+struct BoxSummary {
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  size_t count = 0;
+};
+
+/// Computes the box-plot summary over signed q-errors.
+BoxSummary SummarizeBox(const std::vector<double>& signed_qerrors);
+
+}  // namespace lc
+
+#endif  // LC_UTIL_STATS_H_

@@ -1,0 +1,138 @@
+// Minimal Status / StatusOr error model (the Arrow/RocksDB idiom).
+//
+// Functions whose failure is caused by user input (bad file, malformed
+// query, out-of-range config) return Status or StatusOr<T>; internal
+// invariant violations use LC_CHECK (util/check.h) instead.
+
+#ifndef LC_UTIL_STATUS_H_
+#define LC_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace lc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or a non-OK Status. Access to the value when the
+/// status is not OK is a fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl.
+      : status_(std::move(status)) {
+    LC_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value)  // NOLINT: implicit by design.
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LC_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    LC_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    LC_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lc
+
+/// Propagates a non-OK Status to the caller.
+#define LC_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::lc::Status lc_status_ = (expr);       \
+    if (!lc_status_.ok()) return lc_status_; \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define LC_ASSIGN_OR_RETURN(lhs, expr)                 \
+  LC_ASSIGN_OR_RETURN_IMPL(                            \
+      LC_STATUS_CONCAT(lc_statusor_, __LINE__), lhs, expr)
+
+#define LC_STATUS_CONCAT_INNER(a, b) a##b
+#define LC_STATUS_CONCAT(a, b) LC_STATUS_CONCAT_INNER(a, b)
+
+#define LC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#endif  // LC_UTIL_STATUS_H_

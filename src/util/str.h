@@ -1,0 +1,42 @@
+// Small string helpers (printf-style formatting, splitting, joining) used by
+// logging, serialization and the report printers. libstdc++ 12 has no
+// <format>, hence the snprintf-backed Format().
+
+#ifndef LC_UTIL_STR_H_
+#define LC_UTIL_STR_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lc {
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Renders a byte count as "1.6 MiB" style text.
+std::string HumanBytes(size_t bytes);
+
+/// Renders seconds as "39.2 s" / "3.1 ms" style text.
+std::string HumanSeconds(double seconds);
+
+/// Formats a cardinality/q-error for the report tables: trims trailing
+/// zeros, switches to scientific notation for very large magnitudes.
+std::string HumanNumber(double value);
+
+}  // namespace lc
+
+#endif  // LC_UTIL_STR_H_

@@ -1,0 +1,137 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "db/column.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace lc {
+
+std::string GeneratorConfig::CacheKey() const {
+  return Format("gen:v1:seed=%llu:joins=%d-%d:skipempty=%d",
+                static_cast<unsigned long long>(seed), min_joins, max_joins,
+                skip_empty ? 1 : 0);
+}
+
+QueryGenerator::QueryGenerator(const Database* db, GeneratorConfig config)
+    : db_(db), config_(config), rng_(config.seed) {
+  LC_CHECK(db != nullptr);
+  LC_CHECK_GE(config.min_joins, 0);
+  LC_CHECK_LE(config.min_joins, config.max_joins);
+  LC_CHECK_LE(config.max_joins, db->schema().num_join_edges());
+}
+
+bool QueryGenerator::DrawLiteral(TableId table, int column,
+                                 int32_t* literal) {
+  const Column& data = db_->table(table).column(column);
+  if (data.non_null_count() == 0 || data.size() == 0) return false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int32_t value = data.raw(static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(data.size()) - 1)));
+    if (value != kNullValue) {
+      *literal = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+Query QueryGenerator::Generate() {
+  const Schema& schema = db_->schema();
+  Query query;
+
+  // Uniform join count, then a uniform connected walk over the join graph
+  // (paper section 3.3).
+  const int num_joins = static_cast<int>(
+      rng_.UniformInt(config_.min_joins, config_.max_joins));
+
+  // Start tables must participate in at least one join edge.
+  std::vector<TableId> joinable;
+  for (TableId table = 0; table < schema.num_tables(); ++table) {
+    if (!schema.EdgesForTable(table).empty()) joinable.push_back(table);
+  }
+  LC_CHECK(!joinable.empty());
+  const TableId start = joinable[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(joinable.size()) - 1))];
+  query.tables.push_back(start);
+
+  for (int j = 0; j < num_joins; ++j) {
+    // Candidate edges: incident to the current table set, leading outside.
+    std::vector<int> candidates;
+    for (int edge_index = 0; edge_index < schema.num_join_edges();
+         ++edge_index) {
+      const JoinEdgeDef& edge = schema.join_edge(edge_index);
+      const bool has_left = query.UsesTable(edge.left_table);
+      const bool has_right = query.UsesTable(edge.right_table);
+      if (has_left != has_right) candidates.push_back(edge_index);
+    }
+    if (candidates.empty()) break;  // Join graph exhausted.
+    const int chosen = candidates[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+    const JoinEdgeDef& edge = schema.join_edge(chosen);
+    query.joins.push_back(chosen);
+    query.tables.push_back(query.UsesTable(edge.left_table)
+                               ? edge.right_table
+                               : edge.left_table);
+  }
+
+  // Per-table predicates: uniform count over [0, #non-key columns], distinct
+  // columns, uniform operator, literal from the data.
+  for (TableId table : query.tables) {
+    const TableDef& def = schema.table(table);
+    std::vector<int> non_key_columns;
+    for (int column = 0; column < static_cast<int>(def.columns.size());
+         ++column) {
+      if (!def.columns[static_cast<size_t>(column)].is_key) {
+        non_key_columns.push_back(column);
+      }
+    }
+    if (non_key_columns.empty()) continue;
+    const int num_predicates = static_cast<int>(rng_.UniformInt(
+        0, static_cast<int64_t>(non_key_columns.size())));
+    if (num_predicates == 0) continue;
+    const std::vector<size_t> picks = rng_.SampleWithoutReplacement(
+        non_key_columns.size(), static_cast<size_t>(num_predicates));
+    for (size_t pick : picks) {
+      const int column = non_key_columns[pick];
+      int32_t literal = 0;
+      if (!DrawLiteral(table, column, &literal)) continue;
+      const CompareOp op = static_cast<CompareOp>(rng_.UniformInt(0, 2));
+      query.predicates.push_back(Predicate{table, column, op, literal});
+    }
+  }
+
+  query.Canonicalize();
+  return query;
+}
+
+Workload QueryGenerator::GenerateLabeled(const Executor& executor,
+                                         const SampleSet& samples,
+                                         size_t count,
+                                         const std::string& name) {
+  Workload workload;
+  workload.name = name;
+  workload.sample_size = samples.sample_size();
+  workload.queries.reserve(count);
+  int64_t attempts = 0;
+  const int64_t attempt_budget =
+      static_cast<int64_t>(count) * config_.max_attempts_per_query;
+  while (workload.queries.size() < count) {
+    LC_CHECK_LT(attempts, attempt_budget)
+        << "query generation stalled; too many duplicates/empties for"
+        << name;
+    ++attempts;
+    Query query = Generate();
+    if (!seen_.insert(query.CanonicalKey()).second) continue;
+    LabeledQuery labeled = LabelQuery(query, &executor, samples);
+    if (config_.skip_empty && labeled.cardinality <= 0) continue;
+    workload.queries.push_back(std::move(labeled));
+  }
+  LC_LOG(DEBUG) << "generated " << workload.queries.size() << " queries for "
+                << name << " in " << attempts << " attempts";
+  return workload;
+}
+
+}  // namespace lc

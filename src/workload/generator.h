@@ -1,0 +1,64 @@
+// The random query generator of paper section 3.3: uniform join count,
+// uniform walk over the schema's join graph, uniform predicate count per
+// base table, uniform operator, literals drawn from actual column values;
+// duplicate queries are rejected and (when labelling) empty-result queries
+// are skipped.
+
+#ifndef LC_WORKLOAD_GENERATOR_H_
+#define LC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "db/database.h"
+#include "exec/executor.h"
+#include "sample/sample.h"
+#include "workload/workload.h"
+
+namespace lc {
+
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  int min_joins = 0;
+  int max_joins = 2;  // The paper trains on 0-2 joins (section 3.3).
+  /// Drop queries whose true cardinality is zero (paper section 3.3).
+  bool skip_empty = true;
+  /// Upper bound on generation attempts per accepted query, to guarantee
+  /// termination on hostile configurations.
+  int max_attempts_per_query = 200;
+
+  std::string CacheKey() const;
+};
+
+/// Stateful random query generator over one database.
+class QueryGenerator {
+ public:
+  QueryGenerator(const Database* db, GeneratorConfig config);
+
+  /// Draws one random (canonical) query; may duplicate earlier draws and
+  /// may have an empty result.
+  Query Generate();
+
+  /// Generates `count` unique queries labelled with true cardinalities and
+  /// sample annotations, honouring skip_empty. Checks (fatally) that the
+  /// attempt budget suffices.
+  Workload GenerateLabeled(const Executor& executor, const SampleSet& samples,
+                           size_t count, const std::string& name);
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  /// Draws a uniformly random literal from the actual values of a column
+  /// (skipping NULLs); false if the column holds only NULLs.
+  bool DrawLiteral(TableId table, int column, int32_t* literal);
+
+  const Database* db_;
+  GeneratorConfig config_;
+  Rng rng_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace lc
+
+#endif  // LC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,238 @@
+#include "workload/job_light.h"
+
+#include <cmath>
+
+#include "db/column.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lc {
+
+namespace {
+
+struct Alias {
+  const char* alias;
+  const char* table;
+};
+
+constexpr Alias kAliases[] = {
+    {"t", "title"},          {"mc", "movie_companies"},
+    {"ci", "cast_info"},     {"mi", "movie_info"},
+    {"mii", "movie_info_idx"}, {"mk", "movie_keyword"},
+};
+
+StatusOr<std::string> ResolveAlias(const std::string& alias) {
+  for (const Alias& entry : kAliases) {
+    if (alias == entry.alias) return std::string(entry.table);
+  }
+  return Status::InvalidArgument("unknown table alias: " + alias);
+}
+
+}  // namespace
+
+StatusOr<Query> ParseJobLightSpec(const Database& db,
+                                  const std::string& spec) {
+  const Schema& schema = db.schema();
+  const std::vector<std::string> sections = Split(spec, ';');
+  if (sections.size() != 2) {
+    return Status::InvalidArgument("spec needs 'tables; predicates': " + spec);
+  }
+
+  Query query;
+  TableId title;
+  LC_ASSIGN_OR_RETURN(title, schema.FindTable("title"));
+  query.tables.push_back(title);
+
+  for (const std::string& raw_alias : Split(Trim(sections[0]), ',')) {
+    const std::string alias = Trim(raw_alias);
+    if (alias.empty()) continue;
+    std::string table_name;
+    LC_ASSIGN_OR_RETURN(table_name, ResolveAlias(alias));
+    TableId table;
+    LC_ASSIGN_OR_RETURN(table, schema.FindTable(table_name));
+    if (table == title) continue;  // title is implicit.
+    query.tables.push_back(table);
+    // Find the star edge joining this table to title.
+    bool found = false;
+    for (int edge_index = 0; edge_index < schema.num_join_edges();
+         ++edge_index) {
+      const JoinEdgeDef& edge = schema.join_edge(edge_index);
+      if (edge.Touches(title) && edge.Touches(table)) {
+        query.joins.push_back(edge_index);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("no join edge to title for " + alias);
+    }
+  }
+
+  const std::string predicates_text = Trim(sections[1]);
+  if (!predicates_text.empty()) {
+    for (const std::string& raw_predicate : Split(predicates_text, '&')) {
+      const std::string text = Trim(raw_predicate);
+      const size_t dot = text.find('.');
+      const size_t op_pos = text.find_first_of("=<>");
+      if (dot == std::string::npos || op_pos == std::string::npos ||
+          dot > op_pos) {
+        return Status::InvalidArgument("bad predicate: " + text);
+      }
+      std::string table_name;
+      LC_ASSIGN_OR_RETURN(table_name,
+                          ResolveAlias(Trim(text.substr(0, dot))));
+      TableId table;
+      LC_ASSIGN_OR_RETURN(table, schema.FindTable(table_name));
+      const std::string column_name = Trim(text.substr(dot + 1, op_pos - dot - 1));
+      const int column = schema.table(table).FindColumn(column_name);
+      if (column < 0) {
+        return Status::InvalidArgument("unknown column: " + column_name);
+      }
+      Predicate predicate;
+      predicate.table = table;
+      predicate.column = column;
+      switch (text[op_pos]) {
+        case '=':
+          predicate.op = CompareOp::kEq;
+          break;
+        case '<':
+          predicate.op = CompareOp::kLt;
+          break;
+        default:
+          predicate.op = CompareOp::kGt;
+          break;
+      }
+      const std::string literal_text = Trim(text.substr(op_pos + 1));
+      if (!literal_text.empty() && literal_text[0] == '@') {
+        // Fractional literal: min + f * (max - min) of the column.
+        const double fraction = std::atof(literal_text.c_str() + 1);
+        const Column& data = db.table(table).column(column);
+        predicate.literal = static_cast<int32_t>(std::lround(
+            data.min_value() +
+            fraction * (data.max_value() - data.min_value())));
+      } else {
+        predicate.literal =
+            static_cast<int32_t>(std::atol(literal_text.c_str()));
+      }
+      query.predicates.push_back(predicate);
+    }
+  }
+
+  query.Canonicalize();
+  return query;
+}
+
+const std::vector<std::string>& JobLightSpecs() {
+  // 70 queries: 3 with one join, 32 with two, 23 with three, 12 with four.
+  static const std::vector<std::string>* specs = new std::vector<std::string>{
+      // ---- 1 join (3) ----
+      "mc; t.production_year>2010 & mc.company_type_id=2",
+      "mk; mk.keyword_id=@0.02",
+      "ci; t.production_year>2014 & ci.role_id=1",
+
+      // ---- 2 joins (32) ----
+      "mc,ci; t.production_year>2010 & mc.company_type_id=1",
+      "mc,ci; t.kind_id=1 & ci.role_id=2",
+      "mc,mi; mi.info_type_id=16 & t.production_year>2005 & "
+      "t.production_year<2010",
+      "mc,mi; mc.company_type_id=2 & mi.info_type_id=5",
+      "mc,mii; mii.info_type_id=100 & t.production_year>2000",
+      "mc,mii; mii.info_type_id=99 & mc.company_type_id=1",
+      "mc,mk; mk.keyword_id=@0.01 & t.production_year>1990",
+      "mc,mk; mc.company_id=@0.85 & t.kind_id=1",
+      "ci,mi; ci.role_id=11 & mi.info_type_id=3",
+      "ci,mi; t.kind_id=3 & mi.info_type_id=40",
+      "ci,mii; mii.info_type_id=100 & ci.role_id=1 & t.production_year>2005",
+      "ci,mii; mii.info_type_id=101 & t.kind_id=1",
+      "ci,mk; mk.keyword_id=@0.05 & ci.role_id=2",
+      "ci,mk; t.production_year>2008 & t.production_year<2014 & ci.role_id=8",
+      "mi,mii; mi.info_type_id=8 & mii.info_type_id=100",
+      "mi,mii; mi.info_type_id=16 & mii.info_type_id=99 & "
+      "t.production_year>2010",
+      "mi,mk; mi.info_type_id=1 & mk.keyword_id=@0.02",
+      "mi,mk; t.kind_id=1 & mi.info_type_id=7",
+      "mii,mk; mii.info_type_id=100 & mk.keyword_id=@0.10",
+      "mii,mk; mii.info_type_id=99 & t.production_year>2015",
+      "mc,ci; mc.company_id=@0.9 & t.production_year>2000",
+      "mc,mi; t.kind_id=2 & mi.info_type_id=30",
+      "mc,mk; mc.company_type_id=4 & t.production_year>1995",
+      "ci,mi; ci.person_id=@0.95 & mi.info_type_id=2",
+      "ci,mk; ci.role_id=4 & t.kind_id=3",
+      "mi,mii; t.production_year>1980 & t.production_year<1995 & "
+      "mii.info_type_id=100",
+      "mc,ci; t.production_year<1950 & mc.company_type_id=1",
+      "mi,mk; mk.keyword_id=@0.30 & t.production_year>2012",
+      "mc,mii; t.kind_id=4 & mii.info_type_id=99",
+      "ci,mii; ci.role_id=10 & mii.info_type_id=105",
+      "mc,mk; t.production_year>2005 & mk.keyword_id=@0.07",
+      "ci,mi; t.production_year>2013 & mi.info_type_id=17",
+
+      // ---- 3 joins (23) ----
+      "mc,ci,mi; t.production_year>2010 & mc.company_type_id=2 & "
+      "mi.info_type_id=16",
+      "mc,ci,mi; t.kind_id=1 & ci.role_id=1",
+      "mc,ci,mii; mii.info_type_id=100 & t.production_year>2005",
+      "mc,ci,mk; mk.keyword_id=@0.02 & mc.company_type_id=1",
+      "mc,mi,mii; mi.info_type_id=8 & mii.info_type_id=99 & "
+      "t.production_year>2000",
+      "mc,mi,mk; t.kind_id=1 & mi.info_type_id=5 & mk.keyword_id=@0.04",
+      "mc,mii,mk; mii.info_type_id=100 & t.production_year>2010 & "
+      "mc.company_type_id=2",
+      "ci,mi,mii; ci.role_id=2 & mii.info_type_id=100",
+      "ci,mi,mk; t.production_year>2007 & t.production_year<2012 & "
+      "ci.role_id=1",
+      "ci,mii,mk; mii.info_type_id=99 & mk.keyword_id=@0.01",
+      "mi,mii,mk; mi.info_type_id=3 & mii.info_type_id=100 & "
+      "t.production_year>2014",
+      "mc,ci,mi; mc.company_id=@0.88 & mi.info_type_id=2",
+      "mc,ci,mii; t.kind_id=3 & mii.info_type_id=100 & ci.role_id=11",
+      "mc,mi,mii; t.production_year>1990 & t.production_year<2000 & "
+      "mi.info_type_id=20",
+      "ci,mi,mii; t.kind_id=1 & mi.info_type_id=10 & mii.info_type_id=101",
+      "mc,mi,mk; mc.company_type_id=1 & mk.keyword_id=@0.15",
+      "ci,mi,mk; ci.person_id=@0.97 & mi.info_type_id=1",
+      "mc,mii,mk; t.kind_id=2 & mk.keyword_id=@0.20",
+      "mi,mii,mk; t.production_year>2016 & mii.info_type_id=100",
+      "mc,ci,mk; t.production_year>1985 & ci.role_id=8 & "
+      "mk.keyword_id=@0.03",
+      "ci,mii,mk; t.kind_id=1 & ci.role_id=1 & mii.info_type_id=99",
+      "mc,mi,mii; mc.company_type_id=2 & mi.info_type_id=16 & "
+      "mii.info_type_id=100",
+      "mc,ci,mi; t.production_year>2011 & mi.info_type_id=40",
+
+      // ---- 4 joins (12) ----
+      "mc,ci,mi,mii; t.production_year>2010 & mi.info_type_id=16 & "
+      "mii.info_type_id=100",
+      "mc,ci,mi,mk; t.kind_id=1 & mc.company_type_id=2 & "
+      "mk.keyword_id=@0.02",
+      "mc,ci,mii,mk; mii.info_type_id=100 & ci.role_id=1",
+      "mc,mi,mii,mk; t.production_year>2005 & t.production_year<2015 & "
+      "mi.info_type_id=8",
+      "ci,mi,mii,mk; ci.role_id=2 & mii.info_type_id=99",
+      "mc,ci,mi,mii; t.kind_id=3 & mi.info_type_id=40 & ci.role_id=11",
+      "mc,ci,mi,mk; mc.company_id=@0.9 & mi.info_type_id=1",
+      "mc,ci,mii,mk; t.production_year>2013 & mk.keyword_id=@0.05",
+      "mc,mi,mii,mk; mc.company_type_id=1 & mii.info_type_id=100 & "
+      "t.production_year>2000",
+      "ci,mi,mii,mk; t.kind_id=1 & mi.info_type_id=5 & "
+      "mii.info_type_id=100",
+      "mc,ci,mi,mii; mc.company_type_id=2 & ci.role_id=1 & "
+      "t.production_year>2008",
+      "mc,ci,mi,mk; t.production_year>1995 & ci.role_id=4 & "
+      "mk.keyword_id=@0.10",
+  };
+  return *specs;
+}
+
+std::vector<Query> BuildJobLightQueries(const Database& db) {
+  std::vector<Query> queries;
+  queries.reserve(JobLightSpecs().size());
+  for (const std::string& spec : JobLightSpecs()) {
+    StatusOr<Query> query = ParseJobLightSpec(db, spec);
+    LC_CHECK(query.ok()) << query.status().ToString() << "in spec" << spec;
+    queries.push_back(std::move(query).value());
+  }
+  return queries;
+}
+
+}  // namespace lc

@@ -1,0 +1,37 @@
+// The JOB-light analogue: 70 fixed queries over the IMDb-like schema that
+// mirror JOB-light's structure (paper section 4, Table 1) — 3 one-join, 32
+// two-join, 23 three-join and 12 four-join queries, each a star around
+// `title`, with mostly equality predicates on dimension-style attributes and
+// (closed or open) range predicates only on production_year.
+//
+// The original JOB-light is defined against the real IMDb snapshot; since
+// this reproduction substitutes a synthetic dataset (DESIGN.md section 1),
+// the 70 queries are re-expressed against the synthetic domains. Literals
+// written as "@f" resolve to min + f * (max - min) of the column at build
+// time so selectivities track any database scale.
+
+#ifndef LC_WORKLOAD_JOB_LIGHT_H_
+#define LC_WORKLOAD_JOB_LIGHT_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/query.h"
+#include "util/status.h"
+
+namespace lc {
+
+/// Parses one JOB-light spec line ("mc,ci; t.production_year>2005 &
+/// mc.company_type_id=2") into a Query against `db`'s schema.
+StatusOr<Query> ParseJobLightSpec(const Database& db, const std::string& spec);
+
+/// The 70 spec lines (exposed for tests).
+const std::vector<std::string>& JobLightSpecs();
+
+/// Builds all 70 JOB-light queries. Fatal on internal spec errors.
+std::vector<Query> BuildJobLightQueries(const Database& db);
+
+}  // namespace lc
+
+#endif  // LC_WORKLOAD_JOB_LIGHT_H_

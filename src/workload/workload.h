@@ -1,0 +1,71 @@
+// Labelled query workloads: a query plus its true cardinality and the
+// sample annotations of paper section 3.4 (qualifying-sample counts and
+// positional bitmaps per base table). Workloads serialize to a compact
+// binary form so the expensive labelling step (executing tens of thousands
+// of count queries) runs once and is cached.
+
+#ifndef LC_WORKLOAD_WORKLOAD_H_
+#define LC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/query.h"
+#include "sample/sample.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace lc {
+
+/// A query with its label (true cardinality) and sample features:
+/// sample_counts[i] / sample_bitmaps[i] correspond to query.tables[i] (the
+/// conjunction of all its predicates, paper section 3.4), and
+/// predicate_bitmaps[j] corresponds to query.predicates[j] evaluated alone
+/// (the per-predicate bitmaps of the paper's section 5 "More bitmaps"
+/// extension).
+struct LabeledQuery {
+  Query query;
+  int64_t cardinality = -1;
+  std::vector<int64_t> sample_counts;
+  std::vector<BitVector> sample_bitmaps;
+  std::vector<BitVector> predicate_bitmaps;
+};
+
+/// Annotates `query` with sample counts/bitmaps (section 3.4) and, when
+/// `executor` is non-null, its true cardinality.
+LabeledQuery LabelQuery(const Query& query, const Executor* executor,
+                        const SampleSet& samples);
+
+/// A named sequence of labelled queries.
+struct Workload {
+  std::string name;
+  size_t sample_size = 0;  // Bitmap length used for the annotations.
+  std::vector<LabeledQuery> queries;
+
+  size_t size() const { return queries.size(); }
+
+  /// Number of queries per join count, 0..max_joins (the paper's Table 1
+  /// rows). Queries with more joins than max_joins are counted in the last
+  /// bucket.
+  std::vector<int> JoinHistogram(int max_joins) const;
+
+  /// Queries with exactly `joins` joins (indices into `queries`).
+  std::vector<size_t> QueriesWithJoins(int joins) const;
+
+  /// Maximum true cardinality in the workload (1 if empty).
+  int64_t MaxCardinality() const;
+
+  /// Binary (de)serialization.
+  std::string Serialize() const;
+  static StatusOr<Workload> Deserialize(const std::string& bytes);
+
+  /// File convenience wrappers around Serialize/Deserialize.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<Workload> LoadFromFile(const std::string& path);
+};
+
+}  // namespace lc
+
+#endif  // LC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,266 @@
+// Featurization tests (paper sections 3.1/3.4, Figure 2): dimensions per
+// variant, one-hot placement, literal normalization, masks/padding, and the
+// two invariances that motivate the architecture — padding must not change
+// outputs, and set order must not (materially) change outputs.
+
+#include "core/featurizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "core/normalizer.h"
+#include "db/column.h"
+#include "imdb/imdb.h"
+
+namespace lc {
+namespace {
+
+ImdbConfig TestConfig() {
+  ImdbConfig config;
+  config.seed = 55;
+  config.num_titles = 1200;
+  config.num_companies = 200;
+  config.num_persons = 900;
+  config.num_keywords = 250;
+  return config;
+}
+
+struct Fixture {
+  Database db;
+  Executor executor;
+  SampleSet samples;
+
+  Fixture()
+      : db(GenerateImdb(TestConfig())), executor(&db), samples(&db, 32, 5) {}
+
+  LabeledQuery Label(Query query) {
+    query.Canonicalize();
+    return LabelQuery(query, &executor, samples);
+  }
+
+  LabeledQuery TwoTableQuery() {
+    const ImdbColumns cols = ResolveImdbColumns(db.schema());
+    Query query;
+    query.tables = {cols.title, cols.movie_companies};
+    query.joins = {0};
+    query.predicates = {
+        {cols.title, cols.title_production_year, CompareOp::kGt, 2000},
+        {cols.movie_companies, cols.mc_company_type_id, CompareOp::kEq, 2}};
+    return Label(query);
+  }
+};
+
+TEST(FeaturizerDimsTest, VariantControlsTableWidth) {
+  Fixture f;
+  const Featurizer none(&f.db, FeatureVariant::kNoSamples, 32);
+  const Featurizer counts(&f.db, FeatureVariant::kSampleCounts, 32);
+  const Featurizer bitmaps(&f.db, FeatureVariant::kBitmaps, 32);
+  EXPECT_EQ(none.dims().table_features, 6);
+  EXPECT_EQ(counts.dims().table_features, 7);
+  EXPECT_EQ(bitmaps.dims().table_features, 6 + 32);
+  // 5 join edges; 9 predicate columns + 3 ops + 1 value.
+  EXPECT_EQ(none.dims().join_features, 5);
+  EXPECT_EQ(none.dims().predicate_features, 13);
+}
+
+TEST(FeaturizerTest, OneHotPlacementAndMasks) {
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  const Featurizer featurizer(&f.db, FeatureVariant::kNoSamples, 32);
+  const LabeledQuery labeled = f.TwoTableQuery();
+  const MscnBatch batch = featurizer.MakeBatch({&labeled}, nullptr);
+
+  EXPECT_EQ(batch.size, 1);
+  EXPECT_EQ(batch.table_set_size, 2);
+  EXPECT_EQ(batch.join_set_size, 1);
+  EXPECT_EQ(batch.predicate_set_size, 2);
+
+  // Table rows: one-hot at the table id.
+  for (int64_t t = 0; t < 2; ++t) {
+    const TableId id = labeled.query.tables[static_cast<size_t>(t)];
+    for (int64_t col = 0; col < batch.tables.dim(1); ++col) {
+      EXPECT_EQ(batch.tables.at(t, col), col == id ? 1.0f : 0.0f);
+    }
+    EXPECT_EQ(batch.table_mask[t], 1.0f);
+  }
+  // Join row: one-hot at edge 0 (title-movie_companies).
+  EXPECT_EQ(batch.joins.at(0, 0), 1.0f);
+  for (int64_t col = 1; col < batch.joins.dim(1); ++col) {
+    EXPECT_EQ(batch.joins.at(0, col), 0.0f);
+  }
+  // Predicate rows: column one-hot + op one-hot + normalized literal.
+  const Schema& schema = f.db.schema();
+  for (int64_t p = 0; p < 2; ++p) {
+    const Predicate& predicate =
+        labeled.query.predicates[static_cast<size_t>(p)];
+    const int column_index =
+        schema.PredicateColumnIndex(predicate.table, predicate.column);
+    EXPECT_EQ(batch.predicates.at(p, column_index), 1.0f);
+    const int64_t op_base = schema.num_predicate_columns();
+    EXPECT_EQ(batch.predicates.at(p, op_base + static_cast<int>(predicate.op)),
+              1.0f);
+    const float value = batch.predicates.at(p, op_base + kNumCompareOps);
+    EXPECT_GE(value, 0.0f);
+    EXPECT_LE(value, 1.0f);
+  }
+  (void)cols;
+}
+
+TEST(FeaturizerTest, LiteralNormalizationUsesColumnBounds) {
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  const Featurizer featurizer(&f.db, FeatureVariant::kNoSamples, 32);
+  const Column& year = f.db.table(cols.title).column(cols.title_production_year);
+  EXPECT_FLOAT_EQ(
+      featurizer.NormalizeLiteral(cols.title, cols.title_production_year,
+                                  year.min_value()),
+      0.0f);
+  EXPECT_FLOAT_EQ(
+      featurizer.NormalizeLiteral(cols.title, cols.title_production_year,
+                                  year.max_value()),
+      1.0f);
+  const float mid = featurizer.NormalizeLiteral(
+      cols.title, cols.title_production_year,
+      (year.min_value() + year.max_value()) / 2);
+  EXPECT_NEAR(mid, 0.5f, 0.02f);
+}
+
+TEST(FeaturizerTest, SampleCountVariantEmbedsNormalizedCount) {
+  Fixture f;
+  const Featurizer featurizer(&f.db, FeatureVariant::kSampleCounts, 32);
+  const LabeledQuery labeled = f.TwoTableQuery();
+  const MscnBatch batch = featurizer.MakeBatch({&labeled}, nullptr);
+  for (int64_t t = 0; t < 2; ++t) {
+    const float count_feature = batch.tables.at(t, 6);
+    EXPECT_FLOAT_EQ(count_feature,
+                    static_cast<float>(
+                        labeled.sample_counts[static_cast<size_t>(t)]) /
+                        32.0f);
+  }
+}
+
+TEST(FeaturizerTest, BitmapVariantEmbedsBitmapBits) {
+  Fixture f;
+  const Featurizer featurizer(&f.db, FeatureVariant::kBitmaps, 32);
+  const LabeledQuery labeled = f.TwoTableQuery();
+  const MscnBatch batch = featurizer.MakeBatch({&labeled}, nullptr);
+  for (int64_t t = 0; t < 2; ++t) {
+    const BitVector& bitmap = labeled.sample_bitmaps[static_cast<size_t>(t)];
+    for (size_t bit = 0; bit < 32; ++bit) {
+      EXPECT_EQ(batch.tables.at(t, 6 + static_cast<int64_t>(bit)),
+                bitmap.Test(bit) ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(FeaturizerTest, SingleTableQueryHasEmptyJoinSet) {
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  const Featurizer featurizer(&f.db, FeatureVariant::kNoSamples, 32);
+  Query query;
+  query.tables = {cols.title};
+  const LabeledQuery labeled = f.Label(query);
+  const MscnBatch batch = featurizer.MakeBatch({&labeled}, nullptr);
+  EXPECT_EQ(batch.join_set_size, 1);  // Padded to 1 with zero mask.
+  EXPECT_EQ(batch.join_mask[0], 0.0f);
+  EXPECT_EQ(batch.predicate_mask[0], 0.0f);
+}
+
+TEST(FeaturizerTest, TargetsNormalizedWhenRequested) {
+  Fixture f;
+  const Featurizer featurizer(&f.db, FeatureVariant::kNoSamples, 32);
+  const LabeledQuery labeled = f.TwoTableQuery();
+  const TargetNormalizer normalizer(0.0, std::log(1e6));
+  const MscnBatch batch = featurizer.MakeBatch({&labeled}, &normalizer);
+  EXPECT_FLOAT_EQ(batch.targets[0], normalizer.Normalize(labeled.cardinality));
+  const MscnBatch inference = featurizer.MakeBatch({&labeled}, nullptr);
+  EXPECT_FLOAT_EQ(inference.targets[0], 0.0f);
+}
+
+TEST(NormalizerTest, RoundTripWithinTrainingRange) {
+  const TargetNormalizer normalizer =
+      TargetNormalizer::FromCardinalities({1, 10, 1000, 1000000});
+  for (int64_t cardinality : {1, 10, 500, 1000, 999999}) {
+    const float w = normalizer.Normalize(cardinality);
+    EXPECT_GE(w, 0.0f);
+    EXPECT_LE(w, 1.0f);
+    EXPECT_NEAR(normalizer.Denormalize(w),
+                static_cast<double>(cardinality),
+                static_cast<double>(cardinality) * 0.01);
+  }
+}
+
+TEST(NormalizerTest, ClampsOutOfRangeInputs) {
+  const TargetNormalizer normalizer =
+      TargetNormalizer::FromCardinalities({10, 1000});
+  EXPECT_FLOAT_EQ(normalizer.Normalize(1), 0.0f);
+  EXPECT_FLOAT_EQ(normalizer.Normalize(100000), 1.0f);
+  EXPECT_NEAR(normalizer.Denormalize(2.0f), 1000.0, 1.0);
+}
+
+TEST(NormalizerTest, SerializationRoundTrip) {
+  const TargetNormalizer original(1.5, 12.25);
+  BinaryWriter writer;
+  original.Save(&writer);
+  BinaryReader reader(writer.buffer());
+  TargetNormalizer loaded;
+  ASSERT_TRUE(loaded.Load(&reader).ok());
+  EXPECT_DOUBLE_EQ(loaded.min_log(), 1.5);
+  EXPECT_DOUBLE_EQ(loaded.max_log(), 12.25);
+}
+
+// The inductive-bias invariances of the MSCN architecture (section 3.2).
+
+TEST(InvarianceTest, PaddingDoesNotChangeModelOutput) {
+  Fixture f;
+  const Featurizer featurizer(&f.db, FeatureVariant::kBitmaps, 32);
+  Rng rng(7);
+  MscnConfig config;
+  config.hidden_units = 16;
+  MscnModel model(featurizer.dims(), config, &rng);
+  model.set_normalizer(TargetNormalizer(0.0, 10.0));
+
+  const LabeledQuery small = f.TwoTableQuery();
+  // A larger query forces padding of `small` when batched together.
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  Query big_query;
+  big_query.tables = {cols.title, cols.movie_companies, cols.cast_info,
+                      cols.movie_keyword};
+  big_query.joins = {0, 1, 4};
+  big_query.predicates = {
+      {cols.title, cols.title_kind_id, CompareOp::kEq, 1},
+      {cols.title, cols.title_production_year, CompareOp::kGt, 1990},
+      {cols.cast_info, cols.ci_role_id, CompareOp::kEq, 2},
+      {cols.movie_keyword, cols.mk_keyword_id, CompareOp::kGt, 10}};
+  const LabeledQuery big = f.Label(big_query);
+
+  const double alone = model.Predict(featurizer.MakeBatch({&small}, nullptr))[0];
+  const std::vector<double> together =
+      model.Predict(featurizer.MakeBatch({&small, &big}, nullptr));
+  EXPECT_NEAR(alone, together[0], std::fabs(alone) * 1e-5);
+}
+
+TEST(InvarianceTest, PredicateOrderDoesNotChangeModelOutput) {
+  Fixture f;
+  const Featurizer featurizer(&f.db, FeatureVariant::kBitmaps, 32);
+  Rng rng(8);
+  MscnConfig config;
+  config.hidden_units = 16;
+  MscnModel model(featurizer.dims(), config, &rng);
+  model.set_normalizer(TargetNormalizer(0.0, 10.0));
+
+  LabeledQuery labeled = f.TwoTableQuery();
+  LabeledQuery reversed = labeled;
+  std::reverse(reversed.query.predicates.begin(),
+               reversed.query.predicates.end());
+
+  const double a = model.Predict(featurizer.MakeBatch({&labeled}, nullptr))[0];
+  const double b =
+      model.Predict(featurizer.MakeBatch({&reversed}, nullptr))[0];
+  EXPECT_NEAR(a, b, std::fabs(a) * 1e-4);
+}
+
+}  // namespace
+}  // namespace lc

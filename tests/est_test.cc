@@ -1,0 +1,327 @@
+// Baseline estimator tests: pg_stats statistics, the PostgreSQL-style
+// model, Random Sampling (with its 0-tuple fallback chain), and IBJS.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "db/column.h"
+#include "est/ibjs.h"
+#include "est/pg_stats.h"
+#include "est/postgres.h"
+#include "est/random_sampling.h"
+#include "imdb/imdb.h"
+#include "util/stats.h"
+
+namespace lc {
+namespace {
+
+ImdbConfig TestConfig() {
+  ImdbConfig config;
+  config.seed = 44;
+  config.num_titles = 4000;
+  config.num_companies = 600;
+  config.num_persons = 2500;
+  config.num_keywords = 700;
+  return config;
+}
+
+struct Fixture {
+  Database db;
+  Executor executor;
+  SampleSet samples;
+
+  Fixture()
+      : db(GenerateImdb(TestConfig())),
+        executor(&db),
+        samples(&db, 128, 77) {}
+
+  LabeledQuery Label(Query query) {
+    query.Canonicalize();
+    return LabelQuery(query, &executor, samples);
+  }
+};
+
+// ---------- pg_stats ----------
+
+Column MakeColumn(const std::vector<int32_t>& values) {
+  Column column;
+  for (int32_t value : values) {
+    if (value == kNullValue) {
+      column.AppendNull();
+    } else {
+      column.Append(value);
+    }
+  }
+  column.Finalize();
+  return column;
+}
+
+TEST(PgStatsTest, McvsCaptureHeavyHitters) {
+  std::vector<int32_t> values;
+  for (int i = 0; i < 700; ++i) values.push_back(1);  // 70%.
+  for (int i = 0; i < 200; ++i) values.push_back(2);  // 20%.
+  for (int i = 0; i < 100; ++i) values.push_back(100 + i);  // Tail.
+  const Column column = MakeColumn(values);
+  const ColumnPgStats stats = BuildColumnPgStats(column);
+  ASSERT_GE(stats.mcv_values.size(), 2u);
+  EXPECT_EQ(stats.mcv_values[0], 1);
+  EXPECT_NEAR(stats.mcv_fractions[0], 0.7, 1e-9);
+  EXPECT_EQ(stats.mcv_values[1], 2);
+  EXPECT_NEAR(stats.mcv_fractions[1], 0.2, 1e-9);
+}
+
+TEST(PgStatsTest, EqSelectivityMcvAndTail) {
+  std::vector<int32_t> values;
+  for (int i = 0; i < 900; ++i) values.push_back(7);
+  for (int i = 0; i < 100; ++i) values.push_back(100 + i);  // Distinct tail.
+  const Column column = MakeColumn(values);
+  const ColumnPgStats stats = BuildColumnPgStats(column);
+  EXPECT_NEAR(stats.Selectivity(CompareOp::kEq, 7), 0.9, 1e-9);
+  // Tail values share the remaining 10% over ~100 distinct values.
+  const double tail = stats.Selectivity(CompareOp::kEq, 142);
+  EXPECT_NEAR(tail, 0.1 / 100.0, 0.1 / 100.0);
+}
+
+TEST(PgStatsTest, RangeSelectivityTracksUniformData) {
+  std::vector<int32_t> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i % 1000);
+  const Column column = MakeColumn(values);
+  const ColumnPgStats stats = BuildColumnPgStats(column);
+  EXPECT_NEAR(stats.Selectivity(CompareOp::kLt, 250), 0.25, 0.05);
+  EXPECT_NEAR(stats.Selectivity(CompareOp::kGt, 750), 0.25, 0.05);
+  EXPECT_NEAR(stats.Selectivity(CompareOp::kLt, 0), 0.0, 0.01);
+  EXPECT_NEAR(stats.Selectivity(CompareOp::kGt, 999), 0.0, 0.01);
+}
+
+TEST(PgStatsTest, NullFractionReducesSelectivity) {
+  std::vector<int32_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(i);
+  for (int i = 0; i < 500; ++i) values.push_back(kNullValue);
+  const Column column = MakeColumn(values);
+  const ColumnPgStats stats = BuildColumnPgStats(column);
+  EXPECT_NEAR(stats.null_fraction, 0.5, 1e-9);
+  // All non-null values are < 500, but half the rows are NULL.
+  EXPECT_NEAR(stats.Selectivity(CompareOp::kLt, 500), 0.5, 0.05);
+}
+
+TEST(PgStatsTest, CatalogCoversAllColumns) {
+  Fixture f;
+  const PgStatsCatalog catalog(&f.db);
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  EXPECT_EQ(catalog.table_rows(cols.title), 4000u);
+  const ColumnPgStats& kind = catalog.stats(cols.title, cols.title_kind_id);
+  EXPECT_EQ(kind.distinct_count, 7);
+  EXPECT_GT(kind.mcv_values.size(), 0u);
+}
+
+// ---------- PostgreSQL estimator ----------
+
+TEST(PostgresEstimatorTest, ExactWithoutPredicates) {
+  Fixture f;
+  PostgresEstimator pg(&f.db);
+  Query query;
+  query.tables = {0};
+  const LabeledQuery labeled = f.Label(query);
+  EXPECT_DOUBLE_EQ(pg.Estimate(labeled),
+                   static_cast<double>(f.db.table(0).num_rows()));
+}
+
+TEST(PostgresEstimatorTest, PkFkJoinWithoutPredicatesIsNearFkSize) {
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  PostgresEstimator pg(&f.db);
+  Query query;
+  query.tables = {cols.title, cols.movie_companies};
+  query.joins = {0};
+  const LabeledQuery labeled = f.Label(query);
+  const double truth = static_cast<double>(labeled.cardinality);
+  // eqjoinsel on a PK-FK edge is nearly exact without predicates.
+  EXPECT_LT(QError(pg.Estimate(labeled), truth), 1.5);
+}
+
+TEST(PostgresEstimatorTest, ReasonableOnUncorrelatedRangePredicate) {
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  PostgresEstimator pg(&f.db);
+  Query query;
+  query.tables = {cols.title};
+  query.predicates = {
+      {cols.title, cols.title_production_year, CompareOp::kGt, 2000}};
+  const LabeledQuery labeled = f.Label(query);
+  // The year distribution is intentionally skewed; PostgreSQL's equi-depth
+  // histogram lands within a small factor, not exactly.
+  EXPECT_LT(QError(pg.Estimate(labeled),
+                   static_cast<double>(labeled.cardinality)),
+            3.0);
+}
+
+TEST(PostgresEstimatorTest, NeverBelowOneRow) {
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  PostgresEstimator pg(&f.db);
+  Query query;
+  query.tables = {cols.title};
+  query.predicates = {
+      {cols.title, cols.title_production_year, CompareOp::kGt, 2018},
+      {cols.title, cols.title_kind_id, CompareOp::kEq, 6}};
+  const LabeledQuery labeled = f.Label(query);
+  EXPECT_GE(pg.Estimate(labeled), 1.0);
+}
+
+// ---------- Random Sampling ----------
+
+TEST(RandomSamplingTest, ExactWithoutPredicates) {
+  Fixture f;
+  RandomSamplingEstimator rs(&f.db, &f.samples);
+  Query query;
+  query.tables = {0};
+  const LabeledQuery labeled = f.Label(query);
+  EXPECT_DOUBLE_EQ(rs.Estimate(labeled),
+                   static_cast<double>(f.db.table(0).num_rows()));
+}
+
+TEST(RandomSamplingTest, BaseTableEstimateTracksSampleFraction) {
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  RandomSamplingEstimator rs(&f.db, &f.samples);
+  Query query;
+  query.tables = {cols.title};
+  query.predicates = {{cols.title, cols.title_kind_id, CompareOp::kEq, 1}};
+  const LabeledQuery labeled = f.Label(query);
+  // kind 1 is ~42% of titles; a 128-row sample estimates that within a few x.
+  EXPECT_LT(QError(rs.Estimate(labeled),
+                   static_cast<double>(labeled.cardinality)),
+            2.0);
+}
+
+TEST(RandomSamplingTest, ZeroTupleFallbackUsesDistinctCount) {
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  RandomSamplingEstimator rs(&f.db, &f.samples);
+  // A very selective equality that the 128-tuple sample almost surely
+  // misses: one specific keyword from the tail.
+  const Column& keyword =
+      f.db.table(cols.movie_keyword).column(cols.mk_keyword_id);
+  Query query;
+  query.tables = {cols.movie_keyword};
+  query.predicates = {{cols.movie_keyword, cols.mk_keyword_id, CompareOp::kEq,
+                       keyword.max_value()}};
+  const LabeledQuery labeled = f.Label(query);
+  const double estimate = rs.Estimate(labeled);
+  EXPECT_GE(estimate, 1.0);
+  // The fallback spreads rows over distinct values.
+  const double guess = static_cast<double>(keyword.size()) /
+                       static_cast<double>(keyword.distinct_count());
+  if (f.samples.sample(cols.movie_keyword)
+          .QualifyingCount(labeled.query.predicates) == 0) {
+    EXPECT_NEAR(estimate, std::max(1.0, guess), std::max(1.0, guess) * 0.5);
+  }
+}
+
+TEST(RandomSamplingTest, UnderestimatesCorrelatedJoins) {
+  // The headline phenomenon: with join-crossing correlations, independence
+  // underestimates. Company band 0 companies attach (mostly) to era-0
+  // movies; predicating on both sides violates independence.
+  Fixture f;
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  RandomSamplingEstimator rs(&f.db, &f.samples);
+  // Recent titles (era 6) attach mostly to era-6 companies (high ids);
+  // predicating on both sides selects the *same* rows, which independence
+  // cannot see. num_companies=600 -> era band 85, era-6 base 510.
+  Query query;
+  query.tables = {cols.title, cols.movie_companies};
+  query.joins = {0};
+  query.predicates = {
+      {cols.title, cols.title_production_year, CompareOp::kGt, 2005},
+      {cols.movie_companies, cols.mc_company_id, CompareOp::kGt, 510}};
+  const LabeledQuery labeled = f.Label(query);
+  if (labeled.cardinality > 50) {
+    EXPECT_LT(rs.Estimate(labeled),
+              static_cast<double>(labeled.cardinality));
+  }
+}
+
+// ---------- IBJS ----------
+
+TEST(IbjsTest, SingleTableMatchesRandomSampling) {
+  Fixture f;
+  RandomSamplingEstimator rs(&f.db, &f.samples);
+  IbjsEstimator ibjs(&f.db, &f.samples);
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  Query query;
+  query.tables = {cols.title};
+  query.predicates = {{cols.title, cols.title_kind_id, CompareOp::kEq, 1}};
+  const LabeledQuery labeled = f.Label(query);
+  EXPECT_DOUBLE_EQ(ibjs.Estimate(labeled), rs.Estimate(labeled));
+}
+
+TEST(IbjsTest, UnfilteredJoinIsAccurate) {
+  Fixture f;
+  IbjsEstimator ibjs(&f.db, &f.samples);
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  Query query;
+  query.tables = {cols.title, cols.movie_companies};
+  query.joins = {0};
+  const LabeledQuery labeled = f.Label(query);
+  EXPECT_LT(QError(ibjs.Estimate(labeled),
+                   static_cast<double>(labeled.cardinality)),
+            1.6);
+}
+
+TEST(IbjsTest, CapturesCorrelatedJoinBetterThanRs) {
+  Fixture f;
+  RandomSamplingEstimator rs(&f.db, &f.samples);
+  IbjsEstimator ibjs(&f.db, &f.samples);
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  Query query;
+  query.tables = {cols.title, cols.cast_info};
+  query.joins = {1};
+  query.predicates = {
+      {cols.title, cols.title_kind_id, CompareOp::kEq, 3},
+      {cols.cast_info, cols.ci_role_id, CompareOp::kEq, 11}};
+  const LabeledQuery labeled = f.Label(query);
+  ASSERT_GT(labeled.cardinality, 0);
+  const double truth = static_cast<double>(labeled.cardinality);
+  EXPECT_LE(QError(ibjs.Estimate(labeled), truth),
+            QError(rs.Estimate(labeled), truth) * 1.5);
+}
+
+TEST(IbjsTest, ZeroTupleFallbackStaysPositive) {
+  Fixture f;
+  IbjsEstimator ibjs(&f.db, &f.samples);
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  const Column& keyword =
+      f.db.table(cols.movie_keyword).column(cols.mk_keyword_id);
+  Query query;
+  query.tables = {cols.title, cols.movie_keyword};
+  query.joins = {4};
+  query.predicates = {
+      {cols.movie_keyword, cols.mk_keyword_id, CompareOp::kEq,
+       keyword.max_value()},
+      {cols.title, cols.title_production_year, CompareOp::kGt, 2017}};
+  const LabeledQuery labeled = f.Label(query);
+  const double estimate = ibjs.Estimate(labeled);
+  EXPECT_GE(estimate, 1.0);
+  EXPECT_TRUE(std::isfinite(estimate));
+}
+
+TEST(IbjsTest, ThreeAndFourJoinQueriesProduceFiniteEstimates) {
+  Fixture f;
+  IbjsEstimator ibjs(&f.db, &f.samples);
+  const ImdbColumns cols = ResolveImdbColumns(f.db.schema());
+  Query query;
+  query.tables = {cols.title, cols.movie_companies, cols.cast_info,
+                  cols.movie_keyword};
+  query.joins = {0, 1, 4};
+  query.predicates = {{cols.title, cols.title_production_year,
+                       CompareOp::kGt, 2000}};
+  const LabeledQuery labeled = f.Label(query);
+  const double estimate = ibjs.Estimate(labeled);
+  EXPECT_GE(estimate, 1.0);
+  EXPECT_TRUE(std::isfinite(estimate));
+  EXPECT_LT(QError(estimate, static_cast<double>(labeled.cardinality)), 100.0);
+}
+
+}  // namespace
+}  // namespace lc

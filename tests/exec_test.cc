@@ -1,0 +1,266 @@
+// Query IR tests plus the executor's core correctness property: the tree
+// count-propagation cardinality equals brute-force nested-loop counting on
+// random databases and queries.
+
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "db/column.h"
+#include "exec/index.h"
+#include "exec/query.h"
+#include "imdb/imdb.h"
+#include "util/rng.h"
+
+namespace lc {
+namespace {
+
+// A handcrafted 2-table database with known join counts.
+//   a: ids 0..3, x = {10, 20, 20, 30}
+//   b: a_id = {0, 0, 1, 3, 3, 3, NULL}, z = {1, 2, 1, 1, 2, 1, 1}
+Database TinyDatabase() {
+  Schema schema;
+  const TableId a = schema.AddTable(TableDef{
+      "a", {{"id", true}, {"x", false}}, /*primary_key=*/0});
+  const TableId b = schema.AddTable(TableDef{
+      "b", {{"id", true}, {"a_id", true}, {"z", false}}, /*primary_key=*/0});
+  schema.AddJoinEdge(a, "id", b, "a_id");
+  Database db(std::move(schema));
+  Table& ta = db.table(0);
+  const int32_t xs[] = {10, 20, 20, 30};
+  for (int32_t i = 0; i < 4; ++i) {
+    ta.column(0).Append(i);
+    ta.column(1).Append(xs[i]);
+  }
+  Table& tb = db.table(1);
+  const int32_t a_ids[] = {0, 0, 1, 3, 3, 3, kNullValue};
+  const int32_t zs[] = {1, 2, 1, 1, 2, 1, 1};
+  for (int32_t i = 0; i < 7; ++i) {
+    tb.column(0).Append(i);
+    if (a_ids[i] == kNullValue) {
+      tb.column(1).AppendNull();
+    } else {
+      tb.column(1).Append(a_ids[i]);
+    }
+    tb.column(2).Append(zs[i]);
+  }
+  db.Finalize();
+  return db;
+}
+
+TEST(PredicateTest, MatchSemantics) {
+  Predicate eq{0, 0, CompareOp::kEq, 5};
+  EXPECT_TRUE(eq.Matches(5));
+  EXPECT_FALSE(eq.Matches(4));
+  EXPECT_FALSE(eq.Matches(kNullValue));
+
+  Predicate lt{0, 0, CompareOp::kLt, 5};
+  EXPECT_TRUE(lt.Matches(4));
+  EXPECT_FALSE(lt.Matches(5));
+  EXPECT_FALSE(lt.Matches(kNullValue));
+
+  Predicate gt{0, 0, CompareOp::kGt, 5};
+  EXPECT_TRUE(gt.Matches(6));
+  EXPECT_FALSE(gt.Matches(5));
+  EXPECT_FALSE(gt.Matches(kNullValue));
+}
+
+TEST(QueryTest, CanonicalizeSortsAndDeduplicates) {
+  Query query;
+  query.tables = {2, 0, 2};
+  query.joins = {3, 1, 3};
+  query.predicates = {{2, 1, CompareOp::kGt, 5}, {0, 1, CompareOp::kEq, 3}};
+  query.Canonicalize();
+  EXPECT_EQ(query.tables, (std::vector<TableId>{0, 2}));
+  EXPECT_EQ(query.joins, (std::vector<int>{1, 3}));
+  EXPECT_EQ(query.predicates[0].table, 0);
+  EXPECT_EQ(query.predicates[1].table, 2);
+}
+
+TEST(QueryTest, SerializeRoundTrip) {
+  Query query;
+  query.tables = {0, 1};
+  query.joins = {0};
+  query.predicates = {{0, 1, CompareOp::kGt, 2005},
+                      {1, 2, CompareOp::kEq, 3}};
+  query.Canonicalize();
+  const auto parsed = Query::Deserialize(query.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, query);
+}
+
+TEST(QueryTest, SerializeRoundTripEmptySections) {
+  Query query;
+  query.tables = {4};
+  query.Canonicalize();
+  const auto parsed = Query::Deserialize(query.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, query);
+}
+
+TEST(QueryTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Query::Deserialize("garbage").ok());
+  EXPECT_FALSE(Query::Deserialize("T:0|J:").ok());
+  EXPECT_FALSE(Query::Deserialize("T:x|J:|P:").ok());
+}
+
+TEST(QueryTest, ToSqlRendersJoinsAndPredicates) {
+  const Database db = TinyDatabase();
+  Query query;
+  query.tables = {0, 1};
+  query.joins = {0};
+  query.predicates = {{0, 1, CompareOp::kGt, 15}};
+  const std::string sql = query.ToSql(db.schema());
+  EXPECT_NE(sql.find("FROM a, b"), std::string::npos);
+  EXPECT_NE(sql.find("a.id = b.a_id"), std::string::npos);
+  EXPECT_NE(sql.find("a.x > 15"), std::string::npos);
+}
+
+TEST(ExecutorTest, SingleTableCounts) {
+  const Database db = TinyDatabase();
+  const Executor executor(&db);
+  Query query;
+  query.tables = {0};
+  EXPECT_EQ(executor.Cardinality(query), 4);
+  query.predicates = {{0, 1, CompareOp::kEq, 20}};
+  EXPECT_EQ(executor.Cardinality(query), 2);
+  query.predicates = {{0, 1, CompareOp::kGt, 10}, {0, 1, CompareOp::kLt, 30}};
+  EXPECT_EQ(executor.Cardinality(query), 2);
+}
+
+TEST(ExecutorTest, JoinCountsWithNullKeys) {
+  const Database db = TinyDatabase();
+  const Executor executor(&db);
+  Query query;
+  query.tables = {0, 1};
+  query.joins = {0};
+  // Matches: a0-b0, a0-b1, a1-b2, a3-b3, a3-b4, a3-b5. NULL never joins.
+  EXPECT_EQ(executor.Cardinality(query), 6);
+}
+
+TEST(ExecutorTest, JoinWithPredicatesOnBothSides) {
+  const Database db = TinyDatabase();
+  const Executor executor(&db);
+  Query query;
+  query.tables = {0, 1};
+  query.joins = {0};
+  query.predicates = {{0, 1, CompareOp::kEq, 30}, {1, 2, CompareOp::kEq, 1}};
+  // a3 joins b3(z=1), b4(z=2), b5(z=1) -> 2 rows with z=1.
+  EXPECT_EQ(executor.Cardinality(query), 2);
+}
+
+TEST(ExecutorTest, EmptyResultWhenPredicateSelectsNothing) {
+  const Database db = TinyDatabase();
+  const Executor executor(&db);
+  Query query;
+  query.tables = {0, 1};
+  query.joins = {0};
+  query.predicates = {{0, 1, CompareOp::kGt, 1000}};
+  EXPECT_EQ(executor.Cardinality(query), 0);
+}
+
+TEST(ExecutorTest, SelectRowsMatchesCount) {
+  const Database db = TinyDatabase();
+  const Executor executor(&db);
+  const std::vector<Predicate> predicates = {{1, 2, CompareOp::kEq, 1}};
+  const std::vector<uint32_t> rows = executor.SelectRows(1, predicates);
+  EXPECT_EQ(static_cast<int64_t>(rows.size()),
+            executor.CountSelected(1, predicates));
+  EXPECT_EQ(rows, (std::vector<uint32_t>{0, 2, 3, 5, 6}));
+}
+
+TEST(ExecutorTest, MatchesBruteForceOnTinyDatabase) {
+  const Database db = TinyDatabase();
+  const Executor executor(&db);
+  Query query;
+  query.tables = {0, 1};
+  query.joins = {0};
+  EXPECT_EQ(executor.Cardinality(query), BruteForceCardinality(db, query));
+}
+
+// Property test: on small random IMDb instances, the tree-DP executor always
+// equals brute force for random star queries with 0-3 joins.
+class ExecutorPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(ExecutorPropertyTest, TreeCountEqualsBruteForce) {
+  ImdbConfig config;
+  config.seed = 1000 + static_cast<uint64_t>(GetParam());
+  config.num_titles = 12;
+  config.num_companies = 20;
+  config.num_persons = 30;
+  config.num_keywords = 15;
+  const Database db = GenerateImdb(config);
+  const Executor executor(&db);
+  const Schema& schema = db.schema();
+  const TableId title = schema.FindTable("title").value();
+
+  Rng rng(500 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 12; ++trial) {
+    const int num_joins = static_cast<int>(rng.UniformInt(0, 3));
+    Query query;
+    if (num_joins == 0) {
+      query.tables = {static_cast<TableId>(
+          rng.UniformInt(0, schema.num_tables() - 1))};
+    } else {
+      query.tables = {title};
+      std::vector<size_t> edges =
+          rng.SampleWithoutReplacement(
+              static_cast<size_t>(schema.num_join_edges()),
+              static_cast<size_t>(num_joins));
+      for (size_t edge : edges) {
+        const int edge_index = static_cast<int>(edge);
+        query.joins.push_back(edge_index);
+        query.tables.push_back(schema.join_edge(edge_index).Other(title));
+      }
+    }
+    // Random predicates on the query's non-key columns.
+    for (TableId table : query.tables) {
+      const TableDef& def = schema.table(table);
+      for (int column = 0; column < static_cast<int>(def.columns.size());
+           ++column) {
+        if (def.columns[static_cast<size_t>(column)].is_key) continue;
+        if (!rng.Bernoulli(0.5)) continue;
+        const Column& data = db.table(table).column(column);
+        if (data.non_null_count() == 0) continue;
+        // Literal drawn from the actual data.
+        int32_t literal = kNullValue;
+        while (literal == kNullValue) {
+          literal = data.raw(static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(data.size()) - 1)));
+        }
+        const CompareOp op = static_cast<CompareOp>(rng.UniformInt(0, 2));
+        query.predicates.push_back(Predicate{table, column, op, literal});
+      }
+    }
+    query.Canonicalize();
+    EXPECT_EQ(executor.Cardinality(query), BruteForceCardinality(db, query))
+        << query.Serialize();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         testing::Range(0, 6));
+
+TEST(HashIndexTest, LookupReturnsAllRows) {
+  const Database db = TinyDatabase();
+  const HashIndex index(db.table(1), 1);  // b.a_id
+  EXPECT_EQ(index.Lookup(0).size(), 2u);
+  EXPECT_EQ(index.Lookup(3).size(), 3u);
+  EXPECT_TRUE(index.Lookup(2).empty());
+  EXPECT_TRUE(index.Lookup(999).empty());
+  // NULL rows are not indexed: 6 of 7 rows have keys.
+  EXPECT_EQ(index.num_entries(), 6u);
+  EXPECT_EQ(index.num_keys(), 3u);
+}
+
+TEST(IndexSetTest, BuildsLazilyAndCaches) {
+  const Database db = TinyDatabase();
+  IndexSet indexes(&db);
+  const HashIndex& first = indexes.Get(1, 1);
+  const HashIndex& second = indexes.Get(1, 1);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.Lookup(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace lc

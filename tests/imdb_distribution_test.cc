@@ -1,0 +1,186 @@
+// Statistical properties of the synthetic IMDb generator that the other
+// tests do not pin down: the direction of the production-year skew (recent
+// titles dominate, as in IMDb), era-modulated fan-out, the info-type /
+// title-kind dependency, and the movie_info_idx recency bias. These lock in
+// distributional choices the experiments rely on.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "db/column.h"
+#include "imdb/imdb.h"
+
+namespace lc {
+namespace {
+
+ImdbConfig Config(uint64_t seed = 202) {
+  ImdbConfig config;
+  config.seed = seed;
+  config.num_titles = 6000;
+  config.num_companies = 700;
+  config.num_persons = 4000;
+  config.num_keywords = 900;
+  return config;
+}
+
+TEST(ImdbDistributionTest, YearsSkewRecent) {
+  const Database db = GenerateImdb(Config());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  const Column& year = db.table(cols.title).column(cols.title_production_year);
+  int64_t last_era = 0;
+  int64_t first_three_eras = 0;
+  int64_t total = 0;
+  for (size_t row = 0; row < year.size(); ++row) {
+    const int32_t value = year.raw(row);
+    if (value == kNullValue) continue;
+    ++total;
+    const int era = EraOfYear(value);
+    if (era == kNumEras - 1) ++last_era;
+    if (era <= 2) ++first_three_eras;
+  }
+  ASSERT_GT(total, 0);
+  // Most titles are recent (IMDb-like); the early half-century is thin.
+  EXPECT_GT(static_cast<double>(last_era) / total, 0.35);
+  EXPECT_LT(static_cast<double>(first_three_eras) / total, 0.25);
+}
+
+TEST(ImdbDistributionTest, KindMixMatchesWeights) {
+  const Database db = GenerateImdb(Config());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  const Column& kind = db.table(cols.title).column(cols.title_kind_id);
+  std::map<int32_t, int64_t> histogram;
+  for (size_t row = 0; row < kind.size(); ++row) ++histogram[kind.raw(row)];
+  // kind 1 (movie) ~42%, kind 3 (episode) ~26%; both dominate kind 6.
+  EXPECT_GT(histogram[1], histogram[6] * 5);
+  EXPECT_GT(histogram[3], histogram[6] * 3);
+  EXPECT_EQ(histogram.size(), 7u);  // All kinds occur at this scale.
+}
+
+TEST(ImdbDistributionTest, EpisodesAndGamesAreClampedForward) {
+  const Database db = GenerateImdb(Config());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  const Column& kind = db.table(cols.title).column(cols.title_kind_id);
+  const Column& year = db.table(cols.title).column(cols.title_production_year);
+  for (size_t row = 0; row < kind.size(); ++row) {
+    const int32_t year_value = year.raw(row);
+    if (year_value == kNullValue) continue;
+    if (kind.raw(row) == 3) EXPECT_GE(year_value, 1950);
+    if (kind.raw(row) == 6) EXPECT_GE(year_value, 1975);
+  }
+}
+
+TEST(ImdbDistributionTest, FanOutGrowsWithEra) {
+  // Era modulation: recent titles accumulate more satellite rows. Compare
+  // the average movie_companies fan-out of last-era titles vs early-era
+  // titles.
+  const Database db = GenerateImdb(Config());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  const Column& year = db.table(cols.title).column(cols.title_production_year);
+  const Table& mc = db.table(cols.movie_companies);
+
+  std::vector<int64_t> rows_per_title(
+      db.table(cols.title).num_rows(), 0);
+  for (size_t row = 0; row < mc.num_rows(); ++row) {
+    ++rows_per_title[static_cast<size_t>(
+        mc.column(cols.mc_movie_id).raw(row))];
+  }
+  double old_total = 0.0;
+  double old_count = 0.0;
+  double new_total = 0.0;
+  double new_count = 0.0;
+  for (size_t title = 0; title < rows_per_title.size(); ++title) {
+    const int32_t year_value = year.raw(title);
+    if (year_value == kNullValue) continue;
+    const int era = EraOfYear(year_value);
+    if (era <= 1) {
+      old_total += static_cast<double>(rows_per_title[title]);
+      old_count += 1.0;
+    } else if (era == kNumEras - 1) {
+      new_total += static_cast<double>(rows_per_title[title]);
+      new_count += 1.0;
+    }
+  }
+  ASSERT_GT(old_count, 0.0);
+  ASSERT_GT(new_count, 0.0);
+  EXPECT_GT(new_total / new_count, 1.5 * (old_total / old_count));
+}
+
+TEST(ImdbDistributionTest, InfoTypesDependOnTitleKind) {
+  const Database db = GenerateImdb(Config());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  const Column& kind = db.table(cols.title).column(cols.title_kind_id);
+  const Table& mi = db.table(cols.movie_info);
+  // Kind k draws (with prob 0.8) from the info-type band starting at
+  // (k-1)*band; conditional distributions for kinds 1 and 3 must differ.
+  const int band = 110 / kNumTitleKinds;
+  int64_t kind1_in_band1 = 0;
+  int64_t kind1_total = 0;
+  int64_t kind3_in_band1 = 0;
+  int64_t kind3_total = 0;
+  for (size_t row = 0; row < mi.num_rows(); ++row) {
+    const int32_t movie = mi.column(cols.mi_movie_id).raw(row);
+    const int32_t info_type = mi.column(cols.mi_info_type_id).raw(row);
+    const bool in_band1 = info_type >= 1 && info_type <= band;
+    const int32_t k = kind.raw(static_cast<size_t>(movie));
+    if (k == 1) {
+      ++kind1_total;
+      kind1_in_band1 += in_band1;
+    } else if (k == 3) {
+      ++kind3_total;
+      kind3_in_band1 += in_band1;
+    }
+  }
+  ASSERT_GT(kind1_total, 0);
+  ASSERT_GT(kind3_total, 0);
+  const double kind1_fraction =
+      static_cast<double>(kind1_in_band1) / static_cast<double>(kind1_total);
+  const double kind3_fraction =
+      static_cast<double>(kind3_in_band1) / static_cast<double>(kind3_total);
+  EXPECT_GT(kind1_fraction, 3.0 * kind3_fraction);
+}
+
+TEST(ImdbDistributionTest, MovieInfoIdxSkewsToRecentTitles) {
+  const Database db = GenerateImdb(Config());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  const Column& year = db.table(cols.title).column(cols.title_production_year);
+  const Table& mii = db.table(cols.movie_info_idx);
+  int64_t recent = 0;
+  int64_t old = 0;
+  for (size_t row = 0; row < mii.num_rows(); ++row) {
+    const int32_t movie = mii.column(cols.mii_movie_id).raw(row);
+    const int32_t year_value = year.raw(static_cast<size_t>(movie));
+    if (year_value == kNullValue) continue;
+    if (EraOfYear(year_value) >= 4) {
+      ++recent;
+    } else {
+      ++old;
+    }
+  }
+  EXPECT_GT(recent, 4 * old);
+}
+
+TEST(ImdbDistributionTest, InfoTypeDomainsMatchImdbConventions) {
+  const Database db = GenerateImdb(Config());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  const Column& mi_type =
+      db.table(cols.movie_info).column(cols.mi_info_type_id);
+  EXPECT_GE(mi_type.min_value(), 1);
+  EXPECT_LE(mi_type.max_value(), 110);
+  const Column& mii_type =
+      db.table(cols.movie_info_idx).column(cols.mii_info_type_id);
+  EXPECT_GE(mii_type.min_value(), 99);
+  EXPECT_LE(mii_type.max_value(), 113);
+  // Votes/rating (99/100) dominate movie_info_idx.
+  int64_t votes_or_rating = 0;
+  for (size_t row = 0; row < mii_type.size(); ++row) {
+    const int32_t value = mii_type.raw(row);
+    votes_or_rating += (value == 99 || value == 100);
+  }
+  EXPECT_GT(static_cast<double>(votes_or_rating) /
+                static_cast<double>(mii_type.size()),
+            0.6);
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,278 @@
+// Tape autograd tests: forward values for every op and analytic-vs-numeric
+// gradient checks (central finite differences) over random inputs.
+
+#include "nn/tape.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace lc {
+namespace {
+
+// Builds a fresh tape, runs `build` to obtain a scalar loss given the
+// parameters, and returns the loss value.
+using LossBuilder = std::function<Tape::NodeId(Tape*)>;
+
+float EvalLoss(const LossBuilder& build) {
+  Tape tape;
+  const Tape::NodeId loss = build(&tape);
+  return tape.value(loss)[0];
+}
+
+// Verifies d(loss)/d(param) against central differences for every element.
+void CheckParameterGradient(Parameter* param, const LossBuilder& build,
+                            float tolerance = 2e-2f) {
+  param->ZeroGrad();
+  {
+    Tape tape;
+    const Tape::NodeId loss = build(&tape);
+    tape.Backward(loss);
+  }
+  const float epsilon = 1e-3f;
+  for (int64_t i = 0; i < param->value.size(); ++i) {
+    const float saved = param->value[i];
+    param->value[i] = saved + epsilon;
+    const float plus = EvalLoss(build);
+    param->value[i] = saved - epsilon;
+    const float minus = EvalLoss(build);
+    param->value[i] = saved;
+    const float numeric = (plus - minus) / (2.0f * epsilon);
+    const float analytic = param->grad[i];
+    const float scale = std::max(1.0f, std::fabs(numeric));
+    EXPECT_NEAR(analytic, numeric, tolerance * scale)
+        << "element " << i << " of parameter with " << param->value.size()
+        << " entries";
+  }
+}
+
+TEST(TapeForwardTest, MatMulValue) {
+  Tape tape;
+  Tensor a({2, 2});
+  a.at(0, 0) = 1.0f;
+  a.at(0, 1) = 2.0f;
+  a.at(1, 0) = 3.0f;
+  a.at(1, 1) = 4.0f;
+  Tensor b({2, 1});
+  b.at(0, 0) = 10.0f;
+  b.at(1, 0) = 20.0f;
+  const auto c = tape.MatMul(tape.Constant(a), tape.Constant(b));
+  EXPECT_FLOAT_EQ(tape.value(c).at(0, 0), 50.0f);
+  EXPECT_FLOAT_EQ(tape.value(c).at(1, 0), 110.0f);
+}
+
+TEST(TapeForwardTest, AddBiasBroadcastsRows) {
+  Tape tape;
+  Tensor x = Tensor::Zeros({2, 3});
+  Tensor bias = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  const auto out = tape.AddBias(tape.Constant(x), tape.Constant(bias));
+  EXPECT_FLOAT_EQ(tape.value(out).at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(tape.value(out).at(1, 2), 3.0f);
+}
+
+TEST(TapeForwardTest, ReluClampsNegatives) {
+  Tape tape;
+  const auto out = tape.Relu(tape.Constant(Tensor::FromVector({-1.0f, 2.0f})));
+  EXPECT_FLOAT_EQ(tape.value(out)[0], 0.0f);
+  EXPECT_FLOAT_EQ(tape.value(out)[1], 2.0f);
+}
+
+TEST(TapeForwardTest, SigmoidRange) {
+  Tape tape;
+  const auto out =
+      tape.Sigmoid(tape.Constant(Tensor::FromVector({0.0f, 100.0f, -100.0f})));
+  EXPECT_FLOAT_EQ(tape.value(out)[0], 0.5f);
+  EXPECT_NEAR(tape.value(out)[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(tape.value(out)[2], 0.0f, 1e-6f);
+}
+
+TEST(TapeForwardTest, MaskedMeanAveragesOnlyRealElements) {
+  Tape tape;
+  // batch=2, set=2, dim=2. Second set has one padded element.
+  Tensor x({4, 2});
+  x.at(0, 0) = 2.0f;
+  x.at(1, 0) = 4.0f;   // Mean over both rows: 3.
+  x.at(2, 1) = 10.0f;  // Only row 2 is real.
+  x.at(3, 1) = 99.0f;  // Padding: must not contribute.
+  Tensor mask = Tensor::FromVector({1.0f, 1.0f, 1.0f, 0.0f});
+  const auto out =
+      tape.MaskedMean(tape.Constant(x), tape.Constant(mask), 2, 2);
+  EXPECT_FLOAT_EQ(tape.value(out).at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(tape.value(out).at(1, 1), 10.0f);
+}
+
+TEST(TapeForwardTest, MaskedMeanEmptySetYieldsZeros) {
+  Tape tape;
+  Tensor x = Tensor::Full({2, 3}, 5.0f);
+  Tensor mask = Tensor::FromVector({0.0f, 0.0f});
+  const auto out =
+      tape.MaskedMean(tape.Constant(x), tape.Constant(mask), 1, 2);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(tape.value(out).at(0, j), 0.0f);
+}
+
+TEST(TapeForwardTest, ConcatColsLayout) {
+  Tape tape;
+  Tensor a = Tensor::Full({2, 1}, 1.0f);
+  Tensor b = Tensor::Full({2, 2}, 2.0f);
+  const auto out = tape.ConcatCols({tape.Constant(a), tape.Constant(b)});
+  EXPECT_EQ(tape.value(out).dim(1), 3);
+  EXPECT_FLOAT_EQ(tape.value(out).at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(tape.value(out).at(1, 2), 2.0f);
+}
+
+TEST(TapeForwardTest, LossValues) {
+  Tape tape;
+  // pred == target -> q-error 1, geo-loss 0, mse 0.
+  Tensor target = Tensor::FromVector({0.25f, 0.75f});
+  const auto pred = tape.Constant(target);
+  EXPECT_FLOAT_EQ(tape.value(tape.MeanQErrorLoss(pred, target, 10.0f))[0],
+                  1.0f);
+  EXPECT_FLOAT_EQ(tape.value(tape.GeoQErrorLoss(pred, target, 10.0f))[0],
+                  0.0f);
+  EXPECT_FLOAT_EQ(tape.value(tape.MseLoss(pred, target))[0], 0.0f);
+}
+
+TEST(TapeForwardTest, MeanQErrorMatchesClosedForm) {
+  Tape tape;
+  Tensor target = Tensor::FromVector({0.5f});
+  Tensor prediction = Tensor::FromVector({0.6f});
+  const float log_range = 5.0f;
+  const auto loss =
+      tape.MeanQErrorLoss(tape.Constant(prediction), target, log_range);
+  EXPECT_NEAR(tape.value(loss)[0], std::exp(0.5f), 1e-5f);
+}
+
+TEST(TapeBackwardTest, RequiresGradPropagation) {
+  Tape tape;
+  Parameter p(Tensor::Full({1, 1}, 2.0f));
+  const auto constant = tape.Constant(Tensor::Full({1, 1}, 3.0f));
+  const auto leaf = tape.Leaf(&p);
+  const auto product = tape.MatMul(constant, leaf);
+  const auto loss = tape.MseLoss(product, Tensor::Full({1, 1}, 0.0f));
+  tape.Backward(loss);
+  // d/dp mean((3p)^2) = 18p = 36.
+  EXPECT_NEAR(p.grad[0], 36.0f, 1e-3f);
+}
+
+TEST(TapeBackwardTest, GradientsAccumulateAcrossUses) {
+  Parameter p(Tensor::Full({1, 1}, 1.5f));
+  Tape tape;
+  const auto leaf = tape.Leaf(&p);
+  const auto doubled = tape.Add(leaf, leaf);  // 2p.
+  const auto loss = tape.MseLoss(doubled, Tensor::Full({1, 1}, 0.0f));
+  tape.Backward(loss);
+  // d/dp (2p)^2 = 8p = 12.
+  EXPECT_NEAR(p.grad[0], 12.0f, 1e-3f);
+}
+
+TEST(TapeGradientTest, LinearChainThroughEveryOp) {
+  Rng rng(101);
+  Parameter w1(Tensor::Randn({3, 4}, 0.7f, &rng));
+  Parameter b1(Tensor::Randn({4}, 0.3f, &rng));
+  Parameter w2(Tensor::Randn({4, 1}, 0.7f, &rng));
+  const Tensor input = Tensor::Randn({6, 3}, 1.0f, &rng);
+  const Tensor target = Tensor::Full({6, 1}, 0.4f);
+
+  const LossBuilder build = [&](Tape* tape) {
+    const auto x = tape->Constant(input);
+    const auto h =
+        tape->Relu(tape->AddBias(tape->MatMul(x, tape->Leaf(&w1)),
+                                 tape->Leaf(&b1)));
+    const auto out = tape->Sigmoid(tape->MatMul(h, tape->Leaf(&w2)));
+    return tape->MseLoss(out, target);
+  };
+
+  CheckParameterGradient(&w1, build);
+  CheckParameterGradient(&b1, build);
+  CheckParameterGradient(&w2, build);
+}
+
+TEST(TapeGradientTest, MaskedMeanAndConcat) {
+  Rng rng(202);
+  const int64_t batch = 3;
+  const int64_t set_size = 4;
+  Parameter w(Tensor::Randn({2, 3}, 0.8f, &rng));
+  const Tensor input = Tensor::Randn({batch * set_size, 2}, 1.0f, &rng);
+  Tensor mask({batch * set_size});
+  // Sets of size 2, 0 and 4 — includes an empty set.
+  mask[0] = mask[1] = 1.0f;
+  for (int64_t s = 0; s < set_size; ++s) mask[2 * set_size + s] = 1.0f;
+  const Tensor side = Tensor::Randn({batch, 2}, 1.0f, &rng);
+  const Tensor target = Tensor::Full({batch, 1}, 0.5f);
+  Parameter w_out(Tensor::Randn({5, 1}, 0.8f, &rng));
+
+  const LossBuilder build = [&](Tape* tape) {
+    const auto x = tape->Constant(input);
+    const auto transformed = tape->MatMul(x, tape->Leaf(&w));
+    const auto pooled = tape->MaskedMean(transformed, tape->Constant(mask),
+                                         batch, set_size);
+    const auto merged = tape->ConcatCols({pooled, tape->Constant(side)});
+    const auto out = tape->Sigmoid(tape->MatMul(merged, tape->Leaf(&w_out)));
+    return tape->MseLoss(out, target);
+  };
+
+  CheckParameterGradient(&w, build);
+  CheckParameterGradient(&w_out, build);
+}
+
+class LossGradientTest : public testing::TestWithParam<int> {};
+
+TEST_P(LossGradientTest, AllLossesDifferentiateCorrectly) {
+  const int loss_kind = GetParam();
+  Rng rng(300 + static_cast<uint64_t>(loss_kind));
+  Parameter w(Tensor::Randn({2, 1}, 0.6f, &rng));
+  const Tensor input = Tensor::Randn({5, 2}, 1.0f, &rng);
+  Tensor target({5, 1});
+  for (int64_t i = 0; i < 5; ++i) {
+    target[i] = static_cast<float>(rng.UniformDouble(0.2, 0.8));
+  }
+  const float log_range = 4.0f;
+
+  const LossBuilder build = [&](Tape* tape) {
+    const auto out =
+        tape->Sigmoid(tape->MatMul(tape->Constant(input), tape->Leaf(&w)));
+    switch (loss_kind) {
+      case 0:
+        return tape->MeanQErrorLoss(out, target, log_range);
+      case 1:
+        return tape->GeoQErrorLoss(out, target, log_range);
+      default:
+        return tape->MseLoss(out, target);
+    }
+  };
+
+  CheckParameterGradient(&w, build, /*tolerance=*/4e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Losses, LossGradientTest, testing::Values(0, 1, 2));
+
+TEST(TapeGradientTest, ScaleAndAdd) {
+  Rng rng(404);
+  Parameter w(Tensor::Randn({3, 2}, 0.5f, &rng));
+  const Tensor input = Tensor::Randn({4, 3}, 1.0f, &rng);
+  const Tensor target = Tensor::Zeros({4, 2});
+
+  const LossBuilder build = [&](Tape* tape) {
+    const auto x = tape->Constant(input);
+    const auto h = tape->MatMul(x, tape->Leaf(&w));
+    const auto combined = tape->Add(tape->Scale(h, 0.5f), h);  // 1.5 h.
+    return tape->MseLoss(combined, target);
+  };
+
+  CheckParameterGradient(&w, build);
+}
+
+TEST(TapeTest, NodeCountGrowsPerOp) {
+  Tape tape;
+  const auto a = tape.Constant(Tensor::Full({1}, 1.0f));
+  EXPECT_EQ(tape.node_count(), 1u);
+  tape.Relu(a);
+  EXPECT_EQ(tape.node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace lc

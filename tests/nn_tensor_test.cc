@@ -1,0 +1,165 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace lc {
+namespace {
+
+// Reference O(mnk) matmul used to validate the optimized kernels.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < b.dim(1); ++j) {
+      float total = 0.0f;
+      for (int64_t p = 0; p < a.dim(1); ++p) {
+        total += a.at(i, p) * b.at(p, j);
+      }
+      c.at(i, j) = total;
+    }
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor t({a.dim(1), a.dim(0)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < a.dim(1); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.Fill(-1.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], -1.0f);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, At2D) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(TensorTest, ReshapeInPlacePreservesData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  t.ReshapeInPlace({2, 3});
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  t.ReshapeInPlace({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, RandnHasRequestedSpread) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({64, 64}, 0.5f, &rng);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sum_sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 0.25, 0.02);
+}
+
+TEST(TensorTest, EqualsAndMaxAbsDiff) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = a;
+  EXPECT_TRUE(a.Equals(b));
+  b[2] = 3.5f;
+  EXPECT_FALSE(a.Equals(b));
+  EXPECT_FLOAT_EQ(a.MaxAbsDiff(b), 0.5f);
+}
+
+class MatMulShapeTest : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + k * 100 + n));
+  const Tensor a = Tensor::Randn({m, k}, 1.0f, &rng);
+  const Tensor b = Tensor::Randn({k, n}, 1.0f, &rng);
+  const Tensor expected = NaiveMatMul(a, b);
+
+  Tensor c;
+  MatMul(a, b, &c);
+  EXPECT_LT(c.MaxAbsDiff(expected), 1e-4f);
+
+  // Transposed variants, validated through explicit transposes.
+  Tensor c_ta;
+  MatMulTransA(a, NaiveMatMul(a, b), &c_ta);
+  EXPECT_LT(c_ta.MaxAbsDiff(NaiveMatMul(Transpose(a), expected)), 2e-3f);
+
+  Tensor c_tb;
+  MatMulTransB(expected, b, &c_tb);
+  EXPECT_LT(c_tb.MaxAbsDiff(NaiveMatMul(expected, Transpose(b))), 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                    std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                    std::make_tuple(1, 33, 9), std::make_tuple(31, 1, 17),
+                    std::make_tuple(64, 13, 1)));
+
+TEST(MatMulTest, AccumulateAddsToExisting) {
+  Rng rng(5);
+  const Tensor a = Tensor::Randn({3, 4}, 1.0f, &rng);
+  const Tensor b = Tensor::Randn({4, 2}, 1.0f, &rng);
+  Tensor c = Tensor::Full({3, 2}, 1.0f);
+  MatMul(a, b, &c, /*accumulate=*/true);
+  Tensor expected = NaiveMatMul(a, b);
+  for (int64_t i = 0; i < expected.size(); ++i) expected[i] += 1.0f;
+  EXPECT_LT(c.MaxAbsDiff(expected), 1e-4f);
+}
+
+TEST(MatMulTest, NonAccumulateOverwrites) {
+  Rng rng(6);
+  const Tensor a = Tensor::Randn({3, 4}, 1.0f, &rng);
+  const Tensor b = Tensor::Randn({4, 2}, 1.0f, &rng);
+  Tensor c = Tensor::Full({3, 2}, 99.0f);
+  MatMul(a, b, &c, /*accumulate=*/false);
+  EXPECT_LT(c.MaxAbsDiff(NaiveMatMul(a, b)), 1e-4f);
+}
+
+TEST(MatMulTest, SkipsZeroRowsCorrectly) {
+  // One-hot style input exercises the a_ip == 0 fast path.
+  Tensor a({2, 4});
+  a.at(0, 2) = 1.0f;
+  Tensor b({4, 3});
+  for (int64_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(i);
+  Tensor c;
+  MatMul(a, b, &c);
+  EXPECT_EQ(c.at(0, 0), b.at(2, 0));
+  EXPECT_EQ(c.at(0, 1), b.at(2, 1));
+  EXPECT_EQ(c.at(1, 0), 0.0f);
+}
+
+TEST(TensorTest, DebugStringShowsShape) {
+  Tensor t({2, 2});
+  EXPECT_NE(t.DebugString().find("[2x2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lc

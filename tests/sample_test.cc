@@ -1,0 +1,133 @@
+#include "sample/sample.h"
+
+#include <gtest/gtest.h>
+
+#include "db/column.h"
+#include "exec/executor.h"
+#include "imdb/imdb.h"
+
+namespace lc {
+namespace {
+
+ImdbConfig TestConfig() {
+  ImdbConfig config;
+  config.seed = 21;
+  config.num_titles = 2000;
+  config.num_companies = 300;
+  config.num_persons = 1500;
+  config.num_keywords = 400;
+  return config;
+}
+
+TEST(TableSampleTest, SizeAndCapacity) {
+  const Database db = GenerateImdb(TestConfig());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  Rng rng(5);
+  const TableSample sample(db.table(cols.title), 128, &rng);
+  EXPECT_EQ(sample.size(), 128u);
+  EXPECT_EQ(sample.capacity(), 128u);
+  EXPECT_EQ(sample.table_rows(), 2000u);
+}
+
+TEST(TableSampleTest, SmallTableSamplesEverything) {
+  ImdbConfig config = TestConfig();
+  config.num_titles = 50;
+  const Database db = GenerateImdb(config);
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  Rng rng(5);
+  const TableSample sample(db.table(cols.title), 128, &rng);
+  EXPECT_EQ(sample.size(), 50u);
+  EXPECT_EQ(sample.capacity(), 128u);
+  // Bitmap positions past size() stay zero.
+  const BitVector bitmap = sample.QualifyingBitmap({});
+  EXPECT_EQ(bitmap.size(), 128u);
+  EXPECT_EQ(bitmap.Count(), 50u);
+}
+
+TEST(TableSampleTest, SampledRowsAreDistinctAndValid) {
+  const Database db = GenerateImdb(TestConfig());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  Rng rng(9);
+  const TableSample sample(db.table(cols.movie_companies), 200, &rng);
+  std::set<uint32_t> seen;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    EXPECT_LT(sample.row(i), db.table(cols.movie_companies).num_rows());
+    EXPECT_TRUE(seen.insert(sample.row(i)).second);
+  }
+}
+
+TEST(TableSampleTest, MaterializedValuesMatchBaseTable) {
+  const Database db = GenerateImdb(TestConfig());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  Rng rng(13);
+  const TableSample sample(db.table(cols.title), 64, &rng);
+  const Table& title = db.table(cols.title);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (int column = 0; column < title.num_columns(); ++column) {
+      EXPECT_EQ(sample.raw(column, i), title.column(column).raw(sample.row(i)));
+    }
+  }
+}
+
+TEST(TableSampleTest, BitmapMatchesPredicateEvaluation) {
+  const Database db = GenerateImdb(TestConfig());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  Rng rng(17);
+  const TableSample sample(db.table(cols.title), 100, &rng);
+  const std::vector<Predicate> predicates = {
+      {cols.title, cols.title_kind_id, CompareOp::kEq, 1},
+      {cols.title, cols.title_production_year, CompareOp::kGt, 2000}};
+  const BitVector bitmap = sample.QualifyingBitmap(predicates);
+  const Table& title = db.table(cols.title);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const bool expected =
+        predicates[0].Matches(
+            title.column(cols.title_kind_id).raw(sample.row(i))) &&
+        predicates[1].Matches(
+            title.column(cols.title_production_year).raw(sample.row(i)));
+    EXPECT_EQ(bitmap.Test(i), expected) << "position " << i;
+  }
+  EXPECT_EQ(static_cast<int64_t>(bitmap.Count()),
+            sample.QualifyingCount(predicates));
+}
+
+TEST(TableSampleTest, EmptyBitmapUnderImpossiblePredicate) {
+  const Database db = GenerateImdb(TestConfig());
+  const ImdbColumns cols = ResolveImdbColumns(db.schema());
+  Rng rng(19);
+  const TableSample sample(db.table(cols.title), 100, &rng);
+  const std::vector<Predicate> predicates = {
+      {cols.title, cols.title_kind_id, CompareOp::kGt, 9999}};
+  EXPECT_TRUE(sample.QualifyingBitmap(predicates).None());
+  EXPECT_EQ(sample.QualifyingCount(predicates), 0);
+}
+
+TEST(SampleSetTest, DeterministicForSeed) {
+  const Database db = GenerateImdb(TestConfig());
+  const SampleSet a(&db, 64, 123);
+  const SampleSet b(&db, 64, 123);
+  const SampleSet c(&db, 64, 124);
+  for (TableId t = 0; t < db.schema().num_tables(); ++t) {
+    ASSERT_EQ(a.sample(t).size(), b.sample(t).size());
+    bool any_diff_c = false;
+    for (size_t i = 0; i < a.sample(t).size(); ++i) {
+      EXPECT_EQ(a.sample(t).row(i), b.sample(t).row(i));
+      any_diff_c |= a.sample(t).row(i) != c.sample(t).row(i);
+    }
+    EXPECT_TRUE(any_diff_c) << "different seeds should sample differently";
+  }
+}
+
+TEST(SampleSetTest, SampleFractionTracksTableSize) {
+  const Database db = GenerateImdb(TestConfig());
+  const SampleSet samples(&db, 100, 1);
+  // Unfiltered count extrapolation should be exact: count/size * rows.
+  for (TableId t = 0; t < db.schema().num_tables(); ++t) {
+    const TableSample& sample = samples.sample(t);
+    EXPECT_EQ(sample.QualifyingCount({}),
+              static_cast<int64_t>(sample.size()));
+  }
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lc {
+namespace {
+
+TEST(QErrorTest, PerfectEstimateIsOne) {
+  EXPECT_DOUBLE_EQ(QError(100.0, 100.0), 1.0);
+}
+
+TEST(QErrorTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(QError(10.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100.0, 10.0), 10.0);
+}
+
+TEST(QErrorTest, ClampsNonPositiveInputsToOneRow) {
+  EXPECT_DOUBLE_EQ(QError(0.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(QError(100.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(-5.0, 1.0), 1.0);
+}
+
+TEST(SignedQErrorTest, SignEncodesDirection) {
+  EXPECT_DOUBLE_EQ(SignedQError(200.0, 100.0), 2.0);    // Overestimate.
+  EXPECT_DOUBLE_EQ(SignedQError(50.0, 100.0), -2.0);    // Underestimate.
+  EXPECT_DOUBLE_EQ(SignedQError(100.0, 100.0), 1.0);    // Exact.
+}
+
+TEST(SignedQErrorTest, MagnitudeMatchesQError) {
+  for (double est : {1.0, 3.0, 250.0, 1e6}) {
+    for (double truth : {1.0, 9.0, 77.0, 1e5}) {
+      EXPECT_DOUBLE_EQ(std::fabs(SignedQError(est, truth)),
+                       QError(est, truth));
+    }
+  }
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenRanks) {
+  // Sorted: 1 2 3 4; median = 2.5.
+  EXPECT_DOUBLE_EQ(Quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> values = {5.0, 9.0, 1.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 9.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({42.0}, 0.3), 42.0);
+}
+
+TEST(QuantileTest, NinetyFifthPercentile) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  EXPECT_NEAR(Quantile(values, 0.95), 95.05, 1e-9);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(GeometricMeanTest, Basic) {
+  EXPECT_NEAR(GeometricMean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-9);
+}
+
+TEST(SummarizeTest, MatchesComponents) {
+  std::vector<double> qerrors;
+  for (int i = 1; i <= 1000; ++i) qerrors.push_back(static_cast<double>(i));
+  const ErrorSummary summary = Summarize(qerrors);
+  EXPECT_DOUBLE_EQ(summary.median, Quantile(qerrors, 0.5));
+  EXPECT_DOUBLE_EQ(summary.p90, Quantile(qerrors, 0.9));
+  EXPECT_DOUBLE_EQ(summary.p95, Quantile(qerrors, 0.95));
+  EXPECT_DOUBLE_EQ(summary.p99, Quantile(qerrors, 0.99));
+  EXPECT_DOUBLE_EQ(summary.max, 1000.0);
+  EXPECT_DOUBLE_EQ(summary.mean, Mean(qerrors));
+  EXPECT_EQ(summary.count, 1000u);
+}
+
+TEST(SummarizeTest, EmptyInputGivesZeroCount) {
+  const ErrorSummary summary = Summarize({});
+  EXPECT_EQ(summary.count, 0u);
+}
+
+TEST(SummarizeBoxTest, OrderedPercentiles) {
+  std::vector<double> signed_qerrors;
+  for (int i = -500; i <= 500; ++i) {
+    if (i == 0) continue;
+    signed_qerrors.push_back(static_cast<double>(i));
+  }
+  const BoxSummary box = SummarizeBox(signed_qerrors);
+  EXPECT_LE(box.p5, box.p25);
+  EXPECT_LE(box.p25, box.median);
+  EXPECT_LE(box.median, box.p75);
+  EXPECT_LE(box.p75, box.p95);
+  EXPECT_EQ(box.count, 1000u);
+}
+
+}  // namespace
+}  // namespace lc
