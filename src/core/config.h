@@ -36,7 +36,8 @@ const char* LossKindName(LossKind loss);
 struct MscnConfig {
   FeatureVariant variant = FeatureVariant::kBitmaps;
   /// Width d of every hidden layer and set representation (paper: 256; the
-  /// scaled default keeps single-core training fast, see DESIGN.md).
+  /// scaled default keeps single-core training fast; see
+  /// docs/ARCHITECTURE.md, "Design deviations from the paper").
   int hidden_units = 64;
   int epochs = 48;
   int batch_size = 128;

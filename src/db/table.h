@@ -1,4 +1,8 @@
-// A table: one Column per ColumnDef, equal row counts.
+// A column-store table: one Column per ColumnDef of the schema, all of
+// equal row count. Tables are built append-only by the data generator and
+// frozen with Finalize(), which computes the per-column statistics the
+// estimators and the featurizer read (min/max, distinct count, null
+// fraction).
 
 #ifndef LC_DB_TABLE_H_
 #define LC_DB_TABLE_H_

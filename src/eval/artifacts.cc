@@ -121,7 +121,9 @@ MscnModel ArtifactCache::GetModel(
       status = WriteStringToFile(history_path,
                                  SerializeHistory(fresh_history));
     }
-    if (!status.ok()) LC_LOG(WARNING) << "could not cache model: " << status;
+    if (!status.ok()) {
+      LC_LOG(WARNING) << "could not cache model: " << status;
+    }
   }
   if (history != nullptr) *history = std::move(fresh_history);
   return model;

@@ -2,8 +2,8 @@
 // IMDb database, one shared sample set, the four workloads of the paper's
 // section 4 (training corpus, synthetic, scale, JOB-light) and cached
 // trained MSCN variants. All sizes are environment-tunable; the defaults are
-// scaled for a single CPU core (see DESIGN.md section 1 for the mapping to
-// the paper's sizes).
+// scaled for a single CPU core (see docs/ARCHITECTURE.md, "Design deviations
+// from the paper", for the mapping to the paper's sizes).
 
 #ifndef LC_EVAL_EXPERIMENT_H_
 #define LC_EVAL_EXPERIMENT_H_

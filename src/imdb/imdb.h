@@ -1,5 +1,6 @@
 // Synthetic IMDb-like dataset (the substitution for the real IMDb snapshot
-// the paper evaluates on; see DESIGN.md section 1).
+// the paper evaluates on; see docs/ARCHITECTURE.md, "Design deviations from
+// the paper").
 //
 // The schema is the 6-table star JOB-light uses: `title` as the hub joined by
 // `movie_id` foreign keys from movie_companies, cast_info, movie_info,

@@ -5,7 +5,8 @@
 // (closed or open) range predicates only on production_year.
 //
 // The original JOB-light is defined against the real IMDb snapshot; since
-// this reproduction substitutes a synthetic dataset (DESIGN.md section 1),
+// this reproduction substitutes a synthetic dataset (docs/ARCHITECTURE.md,
+// "Design deviations from the paper"),
 // the 70 queries are re-expressed against the synthetic domains. Literals
 // written as "@f" resolve to min + f * (max - min) of the column at build
 // time so selectivities track any database scale.

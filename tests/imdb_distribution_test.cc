@@ -65,8 +65,12 @@ TEST(ImdbDistributionTest, EpisodesAndGamesAreClampedForward) {
   for (size_t row = 0; row < kind.size(); ++row) {
     const int32_t year_value = year.raw(row);
     if (year_value == kNullValue) continue;
-    if (kind.raw(row) == 3) EXPECT_GE(year_value, 1950);
-    if (kind.raw(row) == 6) EXPECT_GE(year_value, 1975);
+    if (kind.raw(row) == 3) {
+      EXPECT_GE(year_value, 1950);
+    }
+    if (kind.raw(row) == 6) {
+      EXPECT_GE(year_value, 1975);
+    }
   }
 }
 
