@@ -6,9 +6,11 @@
 
 #include "core/featurizer.h"
 #include "core/model.h"
+#include "core/mscn_estimator.h"
 #include "core/trainer.h"
 #include "imdb/imdb.h"
 #include "nn/adam.h"
+#include "nn/kernels.h"
 #include "nn/tensor.h"
 #include "workload/generator.h"
 
@@ -33,7 +35,12 @@ BENCHMARK(BM_MatMul)
     ->Args({128, 134, 64})
     ->Args({384, 134, 64})
     ->Args({128, 64, 64})
-    ->Args({512, 192, 64});
+    ->Args({512, 192, 64})
+    // Paper-scale MSCN shapes (d=256): hidden layers and the wide
+    // bitmaps-variant input layer, at serving batch sizes >= 64.
+    ->Args({64, 256, 256})
+    ->Args({256, 256, 256})
+    ->Args({256, 1068, 256});
 
 // Shared fixture: a small database, workload and featurized batch.
 struct MscnFixture {
@@ -101,6 +108,31 @@ void BM_MscnForward(benchmark::State& state) {
                           static_cast<int64_t>(batch_size));
 }
 BENCHMARK(BM_MscnForward)->Arg(1)->Arg(64)->Arg(256);
+
+// Steady-state serving: EstimateAll through a reused tape workspace, the
+// path the section 4.7 batched-latency numbers measure.
+void BM_MscnEstimateAll(benchmark::State& state) {
+  MscnFixture& fixture = MscnFixture::Get();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  MscnConfig config;
+  config.hidden_units = 64;
+  Rng rng(6);
+  MscnModel model(fixture.featurizer.dims(), config, &rng);
+  model.set_normalizer(TargetNormalizer(0.0, 15.0));
+  MscnEstimator estimator(&fixture.featurizer, &model);
+  std::vector<const LabeledQuery*> queries;
+  for (const LabeledQuery& query : fixture.workload.queries) {
+    queries.push_back(&query);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.EstimateAll(queries, batch_size));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  state.SetLabel(
+      nn::KernelBackendName(nn::ActiveKernelBackend()));
+}
+BENCHMARK(BM_MscnEstimateAll)->Arg(64)->Arg(256);
 
 void BM_MscnTrainStep(benchmark::State& state) {
   MscnFixture& fixture = MscnFixture::Get();

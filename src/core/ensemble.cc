@@ -47,8 +47,11 @@ UncertainEstimate MscnEnsemble::EstimateWithUncertainty(
   UncertainEstimate result;
   result.min_estimate = std::numeric_limits<double>::infinity();
   result.max_estimate = 0.0;
+  std::vector<double> member_estimates;
   for (MscnModel& member : members_) {
-    const double estimate = std::max(1.0, member.Predict(batch)[0]);
+    member_estimates.clear();
+    member.Predict(batch, &tape_, &member_estimates);
+    const double estimate = std::max(1.0, member_estimates[0]);
     log_estimates.push_back(std::log(estimate));
     result.min_estimate = std::min(result.min_estimate, estimate);
     result.max_estimate = std::max(result.max_estimate, estimate);

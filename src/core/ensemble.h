@@ -64,6 +64,10 @@ class MscnEnsemble : public CardinalityEstimator {
  private:
   const Featurizer* featurizer_;
   std::vector<MscnModel> members_;
+  // Serving workspace shared by all members and reused across calls (see
+  // nn/tape.h); makes the ensemble stateful like MscnEstimator — a single
+  // instance must not serve concurrent calls.
+  Tape tape_;
 };
 
 }  // namespace lc

@@ -24,39 +24,50 @@ MscnModel::MscnModel(const FeatureDims& dims, const MscnConfig& config,
 
 Tape::NodeId MscnModel::Forward(Tape* tape, const MscnBatch& batch) {
   // Per-element shared MLPs on the flattened (batch*set, features) inputs,
-  // then masked average pooling back to (batch, d).
-  const Tape::NodeId table_elements =
-      table_module_.Apply(tape, tape->Constant(batch.tables));
+  // then masked average pooling back to (batch, d). The featurized inputs
+  // are one-hot/bitmap rows — mostly zeros — so the set modules take the
+  // sparse-input matmul path; everything downstream is dense.
+  const Tape::NodeId table_elements = table_module_.Apply(
+      tape, tape->ConstantRef(&batch.tables), /*sparse_input=*/true);
   const Tape::NodeId w_tables =
-      tape->MaskedMean(table_elements, tape->Constant(batch.table_mask),
+      tape->MaskedMean(table_elements, tape->ConstantRef(&batch.table_mask),
                        batch.size, batch.table_set_size);
 
-  const Tape::NodeId join_elements =
-      join_module_.Apply(tape, tape->Constant(batch.joins));
+  const Tape::NodeId join_elements = join_module_.Apply(
+      tape, tape->ConstantRef(&batch.joins), /*sparse_input=*/true);
   const Tape::NodeId w_joins =
-      tape->MaskedMean(join_elements, tape->Constant(batch.join_mask),
+      tape->MaskedMean(join_elements, tape->ConstantRef(&batch.join_mask),
                        batch.size, batch.join_set_size);
 
-  const Tape::NodeId predicate_elements =
-      predicate_module_.Apply(tape, tape->Constant(batch.predicates));
+  const Tape::NodeId predicate_elements = predicate_module_.Apply(
+      tape, tape->ConstantRef(&batch.predicates), /*sparse_input=*/true);
   const Tape::NodeId w_predicates = tape->MaskedMean(
-      predicate_elements, tape->Constant(batch.predicate_mask), batch.size,
-      batch.predicate_set_size);
+      predicate_elements, tape->ConstantRef(&batch.predicate_mask),
+      batch.size, batch.predicate_set_size);
 
   const Tape::NodeId merged =
       tape->ConcatCols({w_tables, w_joins, w_predicates});
   return output_mlp_.Apply(tape, merged);
 }
 
+void MscnModel::Predict(const MscnBatch& batch, Tape* tape,
+                        std::vector<double>* estimates) {
+  tape->Reset();
+  const Tape::NodeId out = Forward(tape, batch);
+  const Tensor& predictions = tape->value(out);
+  estimates->reserve(estimates->size() + static_cast<size_t>(batch.size));
+  for (int64_t i = 0; i < batch.size; ++i) {
+    estimates->push_back(normalizer_.Denormalize(predictions[i]));
+  }
+  // Release the borrowed batch tensors (the caller's batch may die before
+  // the tape does); the value buffers stay pooled for the next call.
+  tape->Reset();
+}
+
 std::vector<double> MscnModel::Predict(const MscnBatch& batch) {
   Tape tape;
-  const Tape::NodeId out = Forward(&tape, batch);
-  const Tensor& predictions = tape.value(out);
   std::vector<double> cardinalities;
-  cardinalities.reserve(static_cast<size_t>(batch.size));
-  for (int64_t i = 0; i < batch.size; ++i) {
-    cardinalities.push_back(normalizer_.Denormalize(predictions[i]));
-  }
+  Predict(batch, &tape, &cardinalities);
   return cardinalities;
 }
 

@@ -24,8 +24,16 @@ class MscnModel {
   MscnModel(const FeatureDims& dims, const MscnConfig& config, Rng* rng);
 
   /// Records the forward pass of one batch; returns the (size, 1) node of
-  /// normalized predictions.
+  /// normalized predictions. The batch's tensors are *borrowed* by the tape
+  /// (no copies) and must stay alive until the tape's next Reset().
   Tape::NodeId Forward(Tape* tape, const MscnBatch& batch);
+
+  /// Inference into a caller-owned tape, appending denormalized cardinality
+  /// estimates to `estimates`. Resets the tape before and after, so a
+  /// long-lived tape makes repeated calls allocation-free once batch shapes
+  /// stabilize (the serving hot path; see nn/tape.h).
+  void Predict(const MscnBatch& batch, Tape* tape,
+               std::vector<double>* estimates);
 
   /// Convenience inference: denormalized cardinality estimates per query.
   std::vector<double> Predict(const MscnBatch& batch);

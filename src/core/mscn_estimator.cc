@@ -19,7 +19,9 @@ MscnEstimator::MscnEstimator(const Featurizer* featurizer, MscnModel* model,
 
 double MscnEstimator::Estimate(const LabeledQuery& query) {
   const MscnBatch batch = featurizer_->MakeBatch({&query}, nullptr);
-  return model_->Predict(batch)[0];
+  std::vector<double> estimates;
+  model_->Predict(batch, &tape_, &estimates);
+  return estimates[0];
 }
 
 std::vector<double> MscnEstimator::EstimateAll(
@@ -32,9 +34,7 @@ std::vector<double> MscnEstimator::EstimateAll(
     const std::vector<const LabeledQuery*> slice(queries.begin() + begin,
                                                  queries.begin() + end);
     const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
-    for (double estimate : model_->Predict(batch)) {
-      estimates.push_back(estimate);
-    }
+    model_->Predict(batch, &tape_, &estimates);
   }
   return estimates;
 }

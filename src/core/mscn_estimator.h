@@ -12,6 +12,7 @@
 #include "core/featurizer.h"
 #include "core/model.h"
 #include "est/estimator.h"
+#include "nn/tape.h"
 
 namespace lc {
 
@@ -33,6 +34,10 @@ class MscnEstimator : public CardinalityEstimator {
   const Featurizer* featurizer_;
   MscnModel* model_;
   std::string display_name_;
+  // Serving workspace, reused across calls so steady-state inference does
+  // not allocate tensor storage. Makes the estimator stateful: a single
+  // instance must not serve concurrent calls.
+  Tape tape_;
 };
 
 }  // namespace lc

@@ -47,13 +47,16 @@ double Trainer::EvaluateMeanQError(
   LC_CHECK(!queries.empty());
   std::vector<double> qerrors;
   qerrors.reserve(queries.size());
+  Tape tape;  // Reused across batches; see nn/tape.h.
+  std::vector<double> estimates;
   const size_t batch_size = static_cast<size_t>(config_.batch_size);
   for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
     const size_t end = std::min(queries.size(), begin + batch_size);
     const std::vector<const LabeledQuery*> slice(queries.begin() + begin,
                                                  queries.begin() + end);
     const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
-    const std::vector<double> estimates = model->Predict(batch);
+    estimates.clear();
+    model->Predict(batch, &tape, &estimates);
     for (size_t i = 0; i < slice.size(); ++i) {
       qerrors.push_back(QError(estimates[i],
                                static_cast<double>(slice[i]->cardinality)));
@@ -77,6 +80,7 @@ void Trainer::RunEpochs(MscnModel* model,
 
   std::vector<const LabeledQuery*> order = train;
   Rng shuffle_rng(shuffle_seed);
+  Tape tape;  // Reused across batches and epochs; see nn/tape.h.
   WallTimer total_timer;
   const int base_epoch =
       history == nullptr ? 0 : static_cast<int>(history->epochs.size());
@@ -92,7 +96,7 @@ void Trainer::RunEpochs(MscnModel* model,
       const std::vector<const LabeledQuery*> slice(order.begin() + begin,
                                                    order.begin() + end);
       const MscnBatch batch = featurizer_->MakeBatch(slice, &normalizer);
-      Tape tape;
+      tape.Reset();
       const Tape::NodeId prediction = model->Forward(&tape, batch);
       Tape::NodeId loss = 0;
       switch (config_.loss) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "util/check.h"
 
 namespace lc {
@@ -23,21 +24,16 @@ void Adam::Step() {
   const float t = static_cast<float>(step_count_);
   const float bias1 = 1.0f - std::pow(config_.beta1, t);
   const float bias2 = 1.0f - std::pow(config_.beta2, t);
+  const nn::KernelOps& ops = nn::Ops();
   for (size_t p = 0; p < parameters_.size(); ++p) {
     Parameter& param = *parameters_[p];
     Tensor& m = first_moments_[p];
     Tensor& v = second_moments_[p];
     const int64_t n = param.value.size();
     LC_DCHECK_EQ(param.grad.size(), n);
-    for (int64_t i = 0; i < n; ++i) {
-      const float g = param.grad[i];
-      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
-      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
-      const float m_hat = m[i] / bias1;
-      const float v_hat = v[i] / bias2;
-      param.value[i] -=
-          config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
-    }
+    ops.adam_update(param.value.data(), param.grad.data(), m.data(),
+                    v.data(), n, config_.beta1, config_.beta2,
+                    config_.learning_rate, bias1, bias2, config_.epsilon);
   }
 }
 

@@ -16,6 +16,13 @@ Tape::NodeId Linear::Apply(Tape* tape, Tape::NodeId x) {
   return tape->AddBias(tape->MatMul(x, w), b);
 }
 
+Tape::NodeId Linear::ApplyRelu(Tape* tape, Tape::NodeId x,
+                               bool sparse_input) {
+  const Tape::NodeId w = tape->Leaf(&weight_);
+  const Tape::NodeId b = tape->Leaf(&bias_);
+  return tape->BiasRelu(tape->MatMul(x, w, sparse_input), b);
+}
+
 size_t Linear::ByteSize() const {
   return static_cast<size_t>(weight_.value.size() + bias_.value.size()) *
          sizeof(float);
@@ -76,19 +83,19 @@ TwoLayerMlp::TwoLayerMlp(int64_t in_features, int64_t hidden_units,
       second_(hidden_units, out_features, rng),
       activation_(activation) {}
 
-Tape::NodeId TwoLayerMlp::Apply(Tape* tape, Tape::NodeId x) {
-  Tape::NodeId hidden = tape->Relu(first_.Apply(tape, x));
-  Tape::NodeId out = second_.Apply(tape, hidden);
+Tape::NodeId TwoLayerMlp::Apply(Tape* tape, Tape::NodeId x,
+                                bool sparse_input) {
+  Tape::NodeId hidden = first_.ApplyRelu(tape, x, sparse_input);
   switch (activation_) {
     case OutputActivation::kRelu:
-      return tape->Relu(out);
+      return second_.ApplyRelu(tape, hidden);
     case OutputActivation::kSigmoid:
-      return tape->Sigmoid(out);
+      return tape->Sigmoid(second_.Apply(tape, hidden));
     case OutputActivation::kNone:
-      return out;
+      return second_.Apply(tape, hidden);
   }
   LC_FATAL() << "unreachable activation";
-  return out;
+  return second_.Apply(tape, hidden);
 }
 
 int64_t TwoLayerMlp::in_features() const { return first_.in_features(); }

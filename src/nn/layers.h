@@ -25,6 +25,12 @@ class Linear {
   /// Records y = x*W + b on the tape. `x` must have shape (rows, in).
   Tape::NodeId Apply(Tape* tape, Tape::NodeId x);
 
+  /// Records y = relu(x*W + b) with the fused bias+ReLU kernel. With
+  /// `sparse_input`, the matmul uses the zero-skipping kernel — pass true
+  /// only when x is a mostly-zero featurized input (one-hot / bitmap rows).
+  Tape::NodeId ApplyRelu(Tape* tape, Tape::NodeId x,
+                         bool sparse_input = false);
+
   int64_t in_features() const { return weight_.value.dim(0); }
   int64_t out_features() const { return weight_.value.dim(1); }
 
@@ -60,7 +66,9 @@ class TwoLayerMlp {
   TwoLayerMlp(int64_t in_features, int64_t hidden_units, int64_t out_features,
               OutputActivation activation, Rng* rng);
 
-  Tape::NodeId Apply(Tape* tape, Tape::NodeId x);
+  /// With `sparse_input`, the first layer's matmul uses the zero-skipping
+  /// kernel (see Linear::ApplyRelu).
+  Tape::NodeId Apply(Tape* tape, Tape::NodeId x, bool sparse_input = false);
 
   int64_t in_features() const;
   int64_t out_features() const;

@@ -3,12 +3,42 @@
 #include <cmath>
 #include <utility>
 
+#include "nn/kernels.h"
+
 namespace lc {
+
+void Tape::Reset() {
+  for (Node& n : nodes_) {
+    // Park owned buffers for reuse; borrowed values are simply dropped.
+    if (!n.value.empty()) pool_.push_back(std::move(n.value));
+    if (!n.grad.empty()) pool_.push_back(std::move(n.grad));
+  }
+  nodes_.clear();
+}
+
+Tensor Tape::Acquire(std::vector<int64_t> shape) {
+  if (!pool_.empty()) {
+    Tensor tensor = std::move(pool_.back());
+    pool_.pop_back();
+    tensor.Resize(std::move(shape));
+    return tensor;
+  }
+  Tensor tensor;
+  tensor.Resize(std::move(shape));
+  return tensor;
+}
 
 Tape::NodeId Tape::AddNode(Tensor value, bool requires_grad,
                            std::function<void(Tape*)> backward) {
-  nodes_.push_back(Node{std::move(value), Tensor(), nullptr, requires_grad,
-                        std::move(backward)});
+  nodes_.push_back(Node{std::move(value), nullptr, Tensor(), nullptr,
+                        requires_grad, std::move(backward)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Tape::NodeId Tape::AddRefNode(const Tensor* ref, bool requires_grad) {
+  LC_CHECK(ref != nullptr);
+  nodes_.push_back(
+      Node{Tensor(), ref, Tensor(), nullptr, requires_grad, nullptr});
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -19,12 +49,17 @@ Tape::Node& Tape::node(NodeId id) {
 
 Tensor& Tape::GradRef(NodeId id) {
   Node& n = node(id);
-  if (n.grad.empty()) n.grad = Tensor(n.value.shape());
+  if (n.grad.empty()) {
+    const Tensor& v = n.ref != nullptr ? *n.ref : n.value;
+    n.grad = Acquire(v.shape());
+    n.grad.Fill(0.0f);
+  }
   return n.grad;
 }
 
 const Tensor& Tape::value(NodeId id) const {
-  return const_cast<Tape*>(this)->node(id).value;
+  const Node& n = const_cast<Tape*>(this)->node(id);
+  return n.ref != nullptr ? *n.ref : n.value;
 }
 
 const Tensor& Tape::grad(NodeId id) const {
@@ -36,28 +71,45 @@ Tape::NodeId Tape::Constant(Tensor value) {
   return AddNode(std::move(value), /*requires_grad=*/false, nullptr);
 }
 
+Tape::NodeId Tape::ConstantRef(const Tensor* value) {
+  return AddRefNode(value, /*requires_grad=*/false);
+}
+
 Tape::NodeId Tape::Leaf(Parameter* param) {
   LC_CHECK(param != nullptr);
-  const NodeId id = AddNode(param->value, /*requires_grad=*/true, nullptr);
+  const NodeId id = AddRefNode(&param->value, /*requires_grad=*/true);
   node(id).param = param;
   return id;
 }
 
-Tape::NodeId Tape::MatMul(NodeId a, NodeId b) {
-  Tensor out;
-  lc::MatMul(value(a), value(b), &out);
+Tape::NodeId Tape::MatMul(NodeId a, NodeId b, bool sparse_a) {
+  const Tensor& av = value(a);
+  const Tensor& bv = value(b);
+  LC_CHECK_EQ(av.rank(), 2);
+  LC_CHECK_EQ(bv.rank(), 2);
+  const int64_t m = av.dim(0);
+  const int64_t k = av.dim(1);
+  const int64_t n = bv.dim(1);
+  LC_CHECK_EQ(bv.dim(0), k);
+  Tensor out = Acquire({m, n});
+  const nn::KernelOps& ops = nn::Ops();
+  (sparse_a ? ops.gemm_sparse_a : ops.gemm)(av.data(), bv.data(), out.data(),
+                                            m, k, n, /*accumulate=*/false);
   const bool needs = node(a).requires_grad || node(b).requires_grad;
   const NodeId id = AddNode(std::move(out), needs, nullptr);
   // C = A * B:  dA += dC * B^T,  dB += A^T * dC.
-  node(id).backward = [a, b, id](Tape* tape) {
+  node(id).backward = [a, b, id, m, k, n](Tape* tape) {
     const Tensor& dc = tape->GradRef(id);
+    const nn::KernelOps& ops = nn::Ops();
     if (tape->node(a).requires_grad) {
-      MatMulTransB(dc, tape->value(b), &tape->GradRef(a),
-                   /*accumulate=*/true);
+      ops.gemm_trans_b(dc.data(), tape->value(b).data(),
+                       tape->GradRef(a).data(), m, k, n,
+                       /*accumulate=*/true);
     }
     if (tape->node(b).requires_grad) {
-      MatMulTransA(tape->value(a), dc, &tape->GradRef(b),
-                   /*accumulate=*/true);
+      ops.gemm_trans_a(tape->value(a).data(), dc.data(),
+                       tape->GradRef(b).data(), m, k, n,
+                       /*accumulate=*/true);
     }
   };
   return id;
@@ -69,54 +121,70 @@ Tape::NodeId Tape::AddBias(NodeId x, NodeId bias) {
   LC_CHECK_EQ(input.rank(), 2);
   LC_CHECK_EQ(b.rank(), 1);
   LC_CHECK_EQ(input.dim(1), b.dim(0));
-  Tensor out = input;
   const int64_t rows = input.dim(0);
   const int64_t cols = input.dim(1);
-  for (int64_t i = 0; i < rows; ++i) {
-    float* row = out.data() + i * cols;
-    for (int64_t j = 0; j < cols; ++j) row[j] += b[j];
-  }
+  Tensor out = Acquire(input.shape());
+  nn::Ops().bias_add(input.data(), b.data(), out.data(), rows, cols);
   const bool needs = node(x).requires_grad || node(bias).requires_grad;
   const NodeId id = AddNode(std::move(out), needs, nullptr);
   node(id).backward = [x, bias, id, rows, cols](Tape* tape) {
     const Tensor& dout = tape->GradRef(id);
+    const nn::KernelOps& ops = nn::Ops();
     if (tape->node(x).requires_grad) {
-      Tensor& dx = tape->GradRef(x);
-      for (int64_t i = 0; i < dout.size(); ++i) dx[i] += dout[i];
+      ops.axpy(dout.data(), 1.0f, tape->GradRef(x).data(), dout.size());
     }
     if (tape->node(bias).requires_grad) {
-      Tensor& db = tape->GradRef(bias);
-      for (int64_t i = 0; i < rows; ++i) {
-        const float* row = dout.data() + i * cols;
-        for (int64_t j = 0; j < cols; ++j) db[j] += row[j];
-      }
+      ops.col_sum_acc(dout.data(), tape->GradRef(bias).data(), rows, cols);
     }
+  };
+  return id;
+}
+
+Tape::NodeId Tape::BiasRelu(NodeId x, NodeId bias) {
+  const Tensor& input = value(x);
+  const Tensor& b = value(bias);
+  LC_CHECK_EQ(input.rank(), 2);
+  LC_CHECK_EQ(b.rank(), 1);
+  LC_CHECK_EQ(input.dim(1), b.dim(0));
+  const int64_t rows = input.dim(0);
+  const int64_t cols = input.dim(1);
+  Tensor out = Acquire(input.shape());
+  nn::Ops().bias_relu(input.data(), b.data(), out.data(), rows, cols);
+  const bool needs = node(x).requires_grad || node(bias).requires_grad;
+  const NodeId id = AddNode(std::move(out), needs, nullptr);
+  node(id).backward = [x, bias, id, rows, cols](Tape* tape) {
+    const Tensor& out_value = tape->value(id);
+    const Tensor& dout = tape->GradRef(id);
+    float* dx = tape->node(x).requires_grad ? tape->GradRef(x).data()
+                                            : nullptr;
+    float* db = tape->node(bias).requires_grad ? tape->GradRef(bias).data()
+                                               : nullptr;
+    nn::Ops().bias_relu_grad(out_value.data(), dout.data(), dx, db, rows,
+                             cols);
   };
   return id;
 }
 
 Tape::NodeId Tape::Relu(NodeId x) {
-  Tensor out = value(x);
-  for (int64_t i = 0; i < out.size(); ++i) {
-    if (out[i] < 0.0f) out[i] = 0.0f;
-  }
+  const Tensor& input = value(x);
+  Tensor out = Acquire(input.shape());
+  nn::Ops().relu(input.data(), out.data(), input.size());
   const NodeId id = AddNode(std::move(out), node(x).requires_grad, nullptr);
   node(id).backward = [x, id](Tape* tape) {
     if (!tape->node(x).requires_grad) return;
     const Tensor& out_value = tape->value(id);
     const Tensor& dout = tape->GradRef(id);
-    Tensor& dx = tape->GradRef(x);
-    for (int64_t i = 0; i < dout.size(); ++i) {
-      if (out_value[i] > 0.0f) dx[i] += dout[i];
-    }
+    nn::Ops().relu_grad(out_value.data(), dout.data(),
+                        tape->GradRef(x).data(), dout.size());
   };
   return id;
 }
 
 Tape::NodeId Tape::Sigmoid(NodeId x) {
-  Tensor out = value(x);
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  const Tensor& input = value(x);
+  Tensor out = Acquire(input.shape());
+  for (int64_t i = 0; i < input.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-input[i]));
   }
   const NodeId id = AddNode(std::move(out), node(x).requires_grad, nullptr);
   node(id).backward = [x, id](Tape* tape) {
@@ -135,30 +203,33 @@ Tape::NodeId Tape::Add(NodeId a, NodeId b) {
   const Tensor& lhs = value(a);
   const Tensor& rhs = value(b);
   LC_CHECK(lhs.shape() == rhs.shape());
-  Tensor out = lhs;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] += rhs[i];
+  Tensor out = Acquire(lhs.shape());
+  const nn::KernelOps& ops = nn::Ops();
+  ops.scale(lhs.data(), 1.0f, out.data(), out.size());
+  ops.axpy(rhs.data(), 1.0f, out.data(), out.size());
   const bool needs = node(a).requires_grad || node(b).requires_grad;
   const NodeId id = AddNode(std::move(out), needs, nullptr);
   node(id).backward = [a, b, id](Tape* tape) {
     const Tensor& dout = tape->GradRef(id);
     for (NodeId input : {a, b}) {
       if (!tape->node(input).requires_grad) continue;
-      Tensor& din = tape->GradRef(input);
-      for (int64_t i = 0; i < dout.size(); ++i) din[i] += dout[i];
+      nn::Ops().axpy(dout.data(), 1.0f, tape->GradRef(input).data(),
+                     dout.size());
     }
   };
   return id;
 }
 
 Tape::NodeId Tape::Scale(NodeId x, float factor) {
-  Tensor out = value(x);
-  for (int64_t i = 0; i < out.size(); ++i) out[i] *= factor;
+  const Tensor& input = value(x);
+  Tensor out = Acquire(input.shape());
+  nn::Ops().scale(input.data(), factor, out.data(), input.size());
   const NodeId id = AddNode(std::move(out), node(x).requires_grad, nullptr);
   node(id).backward = [x, id, factor](Tape* tape) {
     if (!tape->node(x).requires_grad) return;
     const Tensor& dout = tape->GradRef(id);
-    Tensor& dx = tape->GradRef(x);
-    for (int64_t i = 0; i < dout.size(); ++i) dx[i] += factor * dout[i];
+    nn::Ops().axpy(dout.data(), factor, tape->GradRef(x).data(),
+                   dout.size());
   };
   return id;
 }
@@ -173,7 +244,9 @@ Tape::NodeId Tape::MaskedMean(NodeId x, NodeId mask, int64_t batch,
   LC_CHECK_EQ(m.dim(0), batch * set_size);
   LC_CHECK(!node(mask).requires_grad) << "mask must be a constant";
   const int64_t dim = input.dim(1);
-  Tensor out({batch, dim});
+  const nn::KernelOps& ops = nn::Ops();
+  Tensor out = Acquire({batch, dim});
+  out.Fill(0.0f);
   // Per-batch element counts, reused by the backward pass.
   std::vector<float> inv_counts(static_cast<size_t>(batch), 0.0f);
   for (int64_t b = 0; b < batch; ++b) {
@@ -184,13 +257,12 @@ Tape::NodeId Tape::MaskedMean(NodeId x, NodeId mask, int64_t batch,
       const float weight = m[row];
       if (weight == 0.0f) continue;
       count += weight;
-      const float* in_row = input.data() + row * dim;
-      for (int64_t j = 0; j < dim; ++j) out_row[j] += weight * in_row[j];
+      ops.axpy(input.data() + row * dim, weight, out_row, dim);
     }
     if (count > 0.0f) {
       const float inv = 1.0f / count;
       inv_counts[static_cast<size_t>(b)] = inv;
-      for (int64_t j = 0; j < dim; ++j) out_row[j] *= inv;
+      ops.scale(out_row, inv, out_row, dim);
     }
   }
   const NodeId id = AddNode(std::move(out), node(x).requires_grad, nullptr);
@@ -200,6 +272,7 @@ Tape::NodeId Tape::MaskedMean(NodeId x, NodeId mask, int64_t batch,
     const Tensor& dout = tape->GradRef(id);
     const Tensor& m = tape->value(mask);
     Tensor& dx = tape->GradRef(x);
+    const nn::KernelOps& ops = nn::Ops();
     for (int64_t b = 0; b < batch; ++b) {
       const float inv = inv_counts[static_cast<size_t>(b)];
       if (inv == 0.0f) continue;
@@ -208,9 +281,7 @@ Tape::NodeId Tape::MaskedMean(NodeId x, NodeId mask, int64_t batch,
         const int64_t row = b * set_size + s;
         const float weight = m[row];
         if (weight == 0.0f) continue;
-        float* dx_row = dx.data() + row * dim;
-        const float scale = weight * inv;
-        for (int64_t j = 0; j < dim; ++j) dx_row[j] += scale * dout_row[j];
+        ops.axpy(dout_row, weight * inv, dx.data() + row * dim, dim);
       }
     }
   };
@@ -228,7 +299,7 @@ Tape::NodeId Tape::ConcatCols(const std::vector<NodeId>& parts) {
     total_cols += value(part).dim(1);
     needs = needs || node(part).requires_grad;
   }
-  Tensor out({rows, total_cols});
+  Tensor out = Acquire({rows, total_cols});
   int64_t col_offset = 0;
   for (NodeId part : parts) {
     const Tensor& p = value(part);
@@ -236,22 +307,22 @@ Tape::NodeId Tape::ConcatCols(const std::vector<NodeId>& parts) {
     for (int64_t i = 0; i < rows; ++i) {
       const float* src = p.data() + i * cols;
       float* dst = out.data() + i * total_cols + col_offset;
-      for (int64_t j = 0; j < cols; ++j) dst[j] = src[j];
+      std::copy(src, src + cols, dst);
     }
     col_offset += cols;
   }
   const NodeId id = AddNode(std::move(out), needs, nullptr);
   node(id).backward = [parts, id, rows, total_cols](Tape* tape) {
     const Tensor& dout = tape->GradRef(id);
+    const nn::KernelOps& ops = nn::Ops();
     int64_t col_offset = 0;
     for (NodeId part : parts) {
       const int64_t cols = tape->value(part).dim(1);
       if (tape->node(part).requires_grad) {
         Tensor& dpart = tape->GradRef(part);
         for (int64_t i = 0; i < rows; ++i) {
-          const float* src = dout.data() + i * total_cols + col_offset;
-          float* dst = dpart.data() + i * cols;
-          for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+          ops.axpy(dout.data() + i * total_cols + col_offset, 1.0f,
+                   dpart.data() + i * cols, cols);
         }
       }
       col_offset += cols;
@@ -273,7 +344,7 @@ Tape::NodeId Tape::MeanQErrorLoss(NodeId pred, const Tensor& target,
     qerrors[i] = std::exp(log_range * std::fabs(p[i] - target[i]));
     total += qerrors[i];
   }
-  Tensor out({1});
+  Tensor out = Acquire({1});
   out[0] = static_cast<float>(total / static_cast<double>(n));
   const NodeId id = AddNode(std::move(out), node(pred).requires_grad, nullptr);
   node(id).backward = [pred, id, target, log_range, n,
@@ -300,7 +371,7 @@ Tape::NodeId Tape::GeoQErrorLoss(NodeId pred, const Tensor& target,
   for (int64_t i = 0; i < n; ++i) {
     total += log_range * std::fabs(p[i] - target[i]);
   }
-  Tensor out({1});
+  Tensor out = Acquire({1});
   out[0] = static_cast<float>(total / static_cast<double>(n));
   const NodeId id = AddNode(std::move(out), node(pred).requires_grad, nullptr);
   node(id).backward = [pred, id, target, log_range, n](Tape* tape) {
@@ -330,7 +401,7 @@ Tape::NodeId Tape::MseLoss(NodeId pred, const Tensor& target) {
     const double diff = p[i] - target[i];
     total += diff * diff;
   }
-  Tensor out({1});
+  Tensor out = Acquire({1});
   out[0] = static_cast<float>(total / static_cast<double>(n));
   const NodeId id = AddNode(std::move(out), node(pred).requires_grad, nullptr);
   node(id).backward = [pred, id, target, n](Tape* tape) {
@@ -346,7 +417,7 @@ Tape::NodeId Tape::MseLoss(NodeId pred, const Tensor& target) {
 
 void Tape::Backward(NodeId loss) {
   Node& loss_node = node(loss);
-  LC_CHECK_EQ(loss_node.value.size(), 1)
+  LC_CHECK_EQ(value(loss).size(), 1)
       << "Backward requires a scalar loss node";
   LC_CHECK(loss_node.requires_grad)
       << "loss does not depend on any parameter";
@@ -358,7 +429,7 @@ void Tape::Backward(NodeId loss) {
     if (n.param != nullptr && !n.grad.empty()) {
       Tensor& pgrad = n.param->grad;
       LC_CHECK(pgrad.shape() == n.grad.shape());
-      for (int64_t i = 0; i < pgrad.size(); ++i) pgrad[i] += n.grad[i];
+      nn::Ops().axpy(n.grad.data(), 1.0f, pgrad.data(), pgrad.size());
     }
   }
 }

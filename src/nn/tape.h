@@ -8,7 +8,15 @@
 //
 // The op set is exactly what the MSCN architecture (paper Figure 1) and its
 // training losses need, each with an analytically derived backward pass that
-// the test suite verifies against finite differences.
+// the test suite verifies against finite differences. All dense arithmetic
+// dispatches through the kernel backend (nn/kernels.h).
+//
+// Tapes are reusable: Reset() clears the recorded nodes but parks their
+// value/gradient buffers in an internal pool, so once batch shapes
+// stabilize a forward+backward pass runs without heap allocation for
+// tensor storage. Leaf() and ConstantRef() *borrow* tensors rather than
+// copying them; a borrowed tensor must stay alive until the tape is Reset()
+// or destroyed.
 
 #ifndef LC_NN_TAPE_H_
 #define LC_NN_TAPE_H_
@@ -34,7 +42,8 @@ struct Parameter {
   void ZeroGrad() { grad.Fill(0.0f); }
 };
 
-/// Records one forward computation; single use (build, Backward, discard).
+/// Records one forward computation. Reset() recycles the tape (and its
+/// tensor buffers) for the next batch.
 class Tape {
  public:
   using NodeId = int32_t;
@@ -43,18 +52,34 @@ class Tape {
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
-  /// A node with no gradient tracking (inputs, masks, targets).
+  /// Drops all recorded nodes, keeping their tensor buffers pooled for
+  /// reuse. Borrowed values (Leaf, ConstantRef) are released.
+  void Reset();
+
+  /// A node with no gradient tracking (inputs, masks, targets). The tensor
+  /// is moved into the tape.
   NodeId Constant(Tensor value);
 
+  /// Like Constant but borrows `value` without copying. The pointee must
+  /// outlive every use of this tape up to the next Reset().
+  NodeId ConstantRef(const Tensor* value);
+
   /// A node bound to an external parameter; Backward() accumulates into
-  /// `param->grad`. The parameter must outlive the tape.
+  /// `param->grad`. The parameter must outlive the tape (its value is
+  /// borrowed, not copied).
   NodeId Leaf(Parameter* param);
 
-  /// C(m,n) = A(m,k) * B(k,n).
-  NodeId MatMul(NodeId a, NodeId b);
+  /// C(m,n) = A(m,k) * B(k,n). With `sparse_a`, uses the zero-skipping
+  /// kernel — only worthwhile when A is a mostly-zero featurized input
+  /// (one-hot / bitmap rows), never for dense activations.
+  NodeId MatMul(NodeId a, NodeId b, bool sparse_a = false);
 
   /// Adds a rank-1 bias of length n to every row of x(m,n).
   NodeId AddBias(NodeId x, NodeId bias);
+
+  /// Fused max(x + bias, 0): one kernel forward, one kernel backward.
+  /// Equivalent to Relu(AddBias(x, bias)) with one less materialized node.
+  NodeId BiasRelu(NodeId x, NodeId bias);
 
   /// Elementwise max(x, 0).
   NodeId Relu(NodeId x);
@@ -106,8 +131,9 @@ class Tape {
 
  private:
   struct Node {
-    Tensor value;
-    Tensor grad;  // Allocated lazily by GradRef.
+    Tensor value;                // Owned storage; empty when `ref` is set.
+    const Tensor* ref = nullptr;  // Borrowed value (Leaf, ConstantRef).
+    Tensor grad;                  // Allocated lazily by GradRef.
     Parameter* param = nullptr;
     bool requires_grad = false;
     std::function<void(Tape*)> backward;  // Null for leaves/constants.
@@ -115,11 +141,16 @@ class Tape {
 
   NodeId AddNode(Tensor value, bool requires_grad,
                  std::function<void(Tape*)> backward);
+  NodeId AddRefNode(const Tensor* ref, bool requires_grad);
   Node& node(NodeId id);
   // Gradient tensor of `id`, allocated (zeroed) on first use.
   Tensor& GradRef(NodeId id);
+  // Workspace tensor of the given shape, recycled from the pool when
+  // possible. Contents are unspecified; callers overwrite them.
+  Tensor Acquire(std::vector<int64_t> shape);
 
   std::vector<Node> nodes_;
+  std::vector<Tensor> pool_;
 };
 
 }  // namespace lc

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <new>
 #include <sstream>
+#include <utility>
+
+#include "nn/kernels.h"
 
 namespace lc {
 
@@ -17,12 +22,90 @@ int64_t ElementCount(const std::vector<int64_t>& shape) {
   return count;
 }
 
+float* AllocateAligned(int64_t count) {
+  return static_cast<float*>(::operator new(
+      static_cast<size_t>(count) * sizeof(float),
+      std::align_val_t{kTensorAlignment}));
+}
+
+void DeallocateAligned(float* data) {
+  ::operator delete(data, std::align_val_t{kTensorAlignment});
+}
+
 }  // namespace
 
-Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
-  LC_CHECK(!shape_.empty());
-  LC_CHECK_LE(shape_.size(), 3u);
-  data_.assign(static_cast<size_t>(ElementCount(shape_)), 0.0f);
+void Tensor::Reserve(int64_t count) {
+  if (count <= capacity_) return;
+  // Release before allocating (never both buffers live), but leave the
+  // members consistent in case the allocation throws.
+  DeallocateAligned(data_);
+  data_ = nullptr;
+  capacity_ = 0;
+  size_ = 0;
+  data_ = AllocateAligned(count);
+  capacity_ = count;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape) {
+  Resize(std::move(shape));
+  Fill(0.0f);
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  if (other.size_ > 0) {
+    Reserve(other.size_);
+    size_ = other.size_;
+    std::memcpy(data_, other.data_, static_cast<size_t>(size_) *
+                                        sizeof(float));
+  }
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(other.data_),
+      size_(other.size_),
+      capacity_(other.capacity_) {
+  other.shape_.clear();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.capacity_ = 0;
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  Reserve(other.size_);
+  size_ = other.size_;
+  if (size_ > 0) {
+    std::memcpy(data_, other.data_, static_cast<size_t>(size_) *
+                                        sizeof(float));
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  DeallocateAligned(data_);
+  shape_ = std::move(other.shape_);
+  data_ = other.data_;
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  other.shape_.clear();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.capacity_ = 0;
+  return *this;
+}
+
+Tensor::~Tensor() { DeallocateAligned(data_); }
+
+void Tensor::Resize(std::vector<int64_t> shape) {
+  LC_CHECK(!shape.empty());
+  LC_CHECK_LE(shape.size(), 3u);
+  const int64_t count = ElementCount(shape);
+  Reserve(count);
+  shape_ = std::move(shape);
+  size_ = count;
 }
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
@@ -55,11 +138,14 @@ float& Tensor::at(int64_t row, int64_t col) {
   LC_DCHECK_EQ(rank(), 2);
   LC_DCHECK(row >= 0 && row < dim(0));
   LC_DCHECK(col >= 0 && col < dim(1));
-  return data_[static_cast<size_t>(row * dim(1) + col)];
+  return data_[row * dim(1) + col];
 }
 
 float Tensor::at(int64_t row, int64_t col) const {
-  return const_cast<Tensor*>(this)->at(row, col);
+  LC_DCHECK_EQ(rank(), 2);
+  LC_DCHECK(row >= 0 && row < dim(0));
+  LC_DCHECK(col >= 0 && col < dim(1));
+  return data_[row * dim(1) + col];
 }
 
 void Tensor::ReshapeInPlace(std::vector<int64_t> shape) {
@@ -69,17 +155,19 @@ void Tensor::ReshapeInPlace(std::vector<int64_t> shape) {
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  if (size_ == 0) return;
+  std::fill(data_, data_ + size_, value);
 }
 
 bool Tensor::Equals(const Tensor& other) const {
-  return shape_ == other.shape_ && data_ == other.data_;
+  if (shape_ != other.shape_) return false;
+  return size_ == 0 || std::equal(data_, data_ + size_, other.data_);
 }
 
 float Tensor::MaxAbsDiff(const Tensor& other) const {
   LC_CHECK(shape_ == other.shape_);
   float max_diff = 0.0f;
-  for (size_t i = 0; i < data_.size(); ++i) {
+  for (int64_t i = 0; i < size_; ++i) {
     max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
   }
   return max_diff;
@@ -96,12 +184,24 @@ std::string Tensor::DebugString() const {
   const int64_t preview = std::min<int64_t>(size(), 8);
   for (int64_t i = 0; i < preview; ++i) {
     if (i > 0) os << ", ";
-    os << data_[static_cast<size_t>(i)];
+    os << data_[i];
   }
   if (size() > preview) os << ", ...";
   os << "}";
   return os.str();
 }
+
+namespace {
+
+// Resizes *c to (rows, cols), returning whether the old shape matched (in
+// which case accumulation into existing contents is meaningful).
+bool PrepareOutput(Tensor* c, int64_t rows, int64_t cols) {
+  if (c->rank() == 2 && c->dim(0) == rows && c->dim(1) == cols) return true;
+  c->Resize({rows, cols});
+  return false;
+}
+
+}  // namespace
 
 void MatMul(const Tensor& a, const Tensor& b, Tensor* c, bool accumulate) {
   LC_CHECK_EQ(a.rank(), 2);
@@ -110,25 +210,9 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor* c, bool accumulate) {
   const int64_t k = a.dim(1);
   const int64_t n = b.dim(1);
   LC_CHECK_EQ(b.dim(0), k);
-  if (c->rank() != 2 || c->dim(0) != m || c->dim(1) != n) {
-    *c = Tensor({m, n});
-  } else if (!accumulate) {
-    c->Fill(0.0f);
-  }
-  const float* a_data = a.data();
-  const float* b_data = b.data();
-  float* c_data = c->data();
-  // ikj loop order: unit-stride inner loops vectorize well under -O3.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a_data + i * k;
-    float* c_row = c_data + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;  // One-hot inputs make this common.
-      const float* b_row = b_data + p * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-    }
-  }
+  const bool shaped = PrepareOutput(c, m, n);
+  nn::Ops().gemm(a.data(), b.data(), c->data(), m, k, n,
+                 accumulate && shaped);
 }
 
 void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* c,
@@ -139,24 +223,9 @@ void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* c,
   const int64_t k = a.dim(1);
   const int64_t n = b.dim(1);
   LC_CHECK_EQ(b.dim(0), m);
-  if (c->rank() != 2 || c->dim(0) != k || c->dim(1) != n) {
-    *c = Tensor({k, n});
-  } else if (!accumulate) {
-    c->Fill(0.0f);
-  }
-  const float* a_data = a.data();
-  const float* b_data = b.data();
-  float* c_data = c->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a_data + i * k;
-    const float* b_row = b_data + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;
-      float* c_row = c_data + p * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-    }
-  }
+  const bool shaped = PrepareOutput(c, k, n);
+  nn::Ops().gemm_trans_a(a.data(), b.data(), c->data(), m, k, n,
+                         accumulate && shaped);
 }
 
 void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* c,
@@ -167,24 +236,9 @@ void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* c,
   const int64_t n = a.dim(1);
   const int64_t k = b.dim(0);
   LC_CHECK_EQ(b.dim(1), n);
-  if (c->rank() != 2 || c->dim(0) != m || c->dim(1) != k) {
-    *c = Tensor({m, k});
-  } else if (!accumulate) {
-    c->Fill(0.0f);
-  }
-  const float* a_data = a.data();
-  const float* b_data = b.data();
-  float* c_data = c->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a_data + i * n;
-    float* c_row = c_data + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* b_row = b_data + p * n;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < n; ++j) dot += a_row[j] * b_row[j];
-      c_row[p] += dot;
-    }
-  }
+  const bool shaped = PrepareOutput(c, m, k);
+  nn::Ops().gemm_trans_b(a.data(), b.data(), c->data(), m, k, n,
+                         accumulate && shaped);
 }
 
 }  // namespace lc
