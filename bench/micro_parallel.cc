@@ -1,0 +1,106 @@
+// Microbenchmarks of the concurrency substrate (util/parallel.h,
+// util/lru_cache.h): parallel-for dispatch overhead and scaling on a
+// CPU-bound body, bounded-queue handoff throughput, and sharded-LRU
+// lookup cost under contention. Worker counts are explicit per benchmark
+// (the global pool and LC_THREADS are not consulted) so runs are
+// comparable across machines.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "util/lru_cache.h"
+#include "util/parallel.h"
+
+namespace {
+
+// A few hundred nanoseconds of register-only work per item.
+uint64_t BusyMix(uint64_t seed, int rounds) {
+  uint64_t x = seed | 1;
+  for (int i = 0; i < rounds; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x *= 0x2545f4914f6cdd1dULL;
+  }
+  return x;
+}
+
+// Dispatch overhead: tiny body, so the fork/join machinery dominates.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  lc::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<uint64_t> out(4096);
+  for (auto _ : state) {
+    lc::ParallelFor(&pool, 0, out.size(), 256,
+                    [&](size_t i) { out[i] = i; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(0)->Arg(1)->Arg(3)->Arg(7);
+
+// CPU-bound scaling: the body costs ~1µs per item, so perfect scaling
+// divides wall time by the lane count (workers + caller).
+void BM_ParallelForCpuBound(benchmark::State& state) {
+  lc::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<uint64_t> out(8192);
+  for (auto _ : state) {
+    lc::ParallelForShards(&pool, 0, out.size(), 0,
+                          [&](size_t, size_t lo, size_t hi) {
+                            for (size_t i = lo; i < hi; ++i) {
+                              out[i] = BusyMix(i, 200);
+                            }
+                          });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_ParallelForCpuBound)->Arg(0)->Arg(1)->Arg(3)->Arg(7);
+
+// Producer/consumer handoff cost through the trainer's pipeline queue.
+void BM_BoundedQueueHandoff(benchmark::State& state) {
+  constexpr int kItems = 10000;
+  for (auto _ : state) {
+    lc::BoundedQueue<int> queue(4);
+    std::thread producer([&queue] {
+      for (int i = 0; i < kItems; ++i) queue.Push(i);
+      queue.Close();
+    });
+    int64_t sum = 0;
+    int value = 0;
+    while (queue.Pop(&value)) sum += value;
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_BoundedQueueHandoff);
+
+// Estimator-cache shaped load: mostly hits on a hot key set.
+void BM_ShardedLruCacheLookup(benchmark::State& state) {
+  lc::ShardedLruCache<uint64_t, double> cache(4096);
+  for (uint64_t key = 0; key < 2048; ++key) {
+    cache.Insert(key, static_cast<double>(key));
+  }
+  lc::ThreadPool pool(static_cast<int>(state.range(0)));
+  constexpr size_t kLookups = 1 << 16;
+  for (auto _ : state) {
+    lc::ParallelFor(&pool, 0, kLookups, 1024, [&](size_t i) {
+      double value = 0.0;
+      cache.Lookup(BusyMix(i, 1) % 4096, &value);
+      benchmark::DoNotOptimize(value);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLookups));
+}
+BENCHMARK(BM_ShardedLruCacheLookup)->Arg(0)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "eval/experiment.h"
+#include "eval/report.h"
 #include "util/str.h"
 #include "util/timer.h"
 
@@ -18,15 +19,16 @@ int main() {
                                          lc::FeatureVariant::kSampleCounts,
                                          lc::FeatureVariant::kBitmaps};
 
-  std::cout << lc::Format("%-22s %14s %14s %16s %16s\n", "variant",
+  std::cout << lc::Format("%-22s %14s %14s %16s %16s %16s\n", "variant",
                           "train time", "size on disk", "latency (1 query)",
-                          "latency (batched)");
+                          "latency (warm $)", "latency (batched)");
   for (lc::FeatureVariant variant : variants) {
     lc::TrainingHistory history;
     lc::MscnModel& model = experiment.Model(variant, &history);
     lc::MscnEstimator& estimator = experiment.Mscn(variant);
 
-    // Single-query latency over a slice of the synthetic workload.
+    // Single-query latency over a slice of the synthetic workload (cold:
+    // every query misses the result cache).
     const size_t probes = std::min<size_t>(synthetic.size(), 256);
     lc::WallTimer single_timer;
     for (size_t i = 0; i < probes; ++i) {
@@ -34,7 +36,15 @@ int main() {
     }
     const double single_latency = single_timer.Seconds() / probes;
 
-    // Batched latency.
+    // Same probes again: with LC_EST_CACHE enabled these are all hits and
+    // skip featurization + the forward pass entirely.
+    lc::WallTimer warm_timer;
+    for (size_t i = 0; i < probes; ++i) {
+      estimator.Estimate(synthetic.queries[i]);
+    }
+    const double warm_latency = warm_timer.Seconds() / probes;
+
+    // Batched latency (pool-partitioned, cache-free path).
     std::vector<const lc::LabeledQuery*> pointers;
     for (size_t i = 0; i < probes; ++i) {
       pointers.push_back(&synthetic.queries[i]);
@@ -44,12 +54,15 @@ int main() {
     const double batched_latency = batch_timer.Seconds() / probes;
 
     std::cout << lc::Format(
-        "%-22s %14s %14s %16s %16s\n",
+        "%-22s %14s %14s %16s %16s %16s\n",
         lc::Format("MSCN (%s)", lc::FeatureVariantName(variant)).c_str(),
         lc::HumanSeconds(history.total_seconds).c_str(),
         lc::HumanBytes(model.ToBytes().size()).c_str(),
         lc::HumanSeconds(single_latency).c_str(),
+        lc::HumanSeconds(warm_latency).c_str(),
         lc::HumanSeconds(batched_latency).c_str());
+    lc::PrintCacheCounters(std::cout, estimator.name(),
+                           estimator.cache_counters());
   }
 
   std::cout << "\npaper (section 4.7): serialized sizes 1.6 MiB / 1.6 MiB / "

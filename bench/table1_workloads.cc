@@ -11,6 +11,7 @@ int main() {
   std::cout << "=== Table 1: Distribution of joins ===\n";
   experiment.PrintSetup(std::cout);
 
+  experiment.PrefetchWorkloads();  // Builds the four workloads concurrently.
   const lc::Workload& synthetic = experiment.SyntheticWorkload();
   const lc::Workload& scale = experiment.ScaleWorkload();
   const lc::Workload& job_light = experiment.JobLightWorkload();

@@ -14,13 +14,17 @@ MscnEnsemble::MscnEnsemble(const Featurizer* featurizer,
     : featurizer_(featurizer) {
   LC_CHECK(featurizer != nullptr);
   LC_CHECK_GT(size, 0);
-  members_.reserve(static_cast<size_t>(size));
-  for (int member = 0; member < size; ++member) {
-    MscnConfig member_config = config;
-    member_config.seed = config.seed + static_cast<uint64_t>(member);
-    Trainer trainer(featurizer, member_config);
-    members_.push_back(trainer.Train(train, validation, nullptr));
-  }
+  members_.resize(static_cast<size_t>(size));
+  // Members differ only in their seed and never share mutable state, so
+  // they train concurrently and land in their slots deterministically.
+  ParallelFor(ThreadPool::Global(), 0, static_cast<size_t>(size), 1,
+              [&](size_t member) {
+                MscnConfig member_config = config;
+                member_config.seed =
+                    config.seed + static_cast<uint64_t>(member);
+                Trainer trainer(featurizer_, member_config);
+                members_[member] = trainer.Train(train, validation, nullptr);
+              });
 }
 
 MscnEnsemble::MscnEnsemble(const Featurizer* featurizer,
@@ -71,6 +75,34 @@ UncertainEstimate MscnEnsemble::EstimateWithUncertainty(
 
 double MscnEnsemble::Estimate(const LabeledQuery& query) {
   return EstimateWithUncertainty(query).cardinality;
+}
+
+std::vector<double> MscnEnsemble::EstimateAll(
+    const std::vector<const LabeledQuery*>& queries, size_t batch_size,
+    ThreadPool* pool) {
+  std::vector<double> estimates(queries.size());
+  // Every member's forward pass only reads that member's parameters; see
+  // ForEachBatchShard for the partition/determinism argument.
+  ForEachBatchShard(
+      queries, batch_size, pool,
+      [&](Tape* tape, const std::vector<const LabeledQuery*>& slice,
+          size_t begin) {
+        const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
+        std::vector<double> member_estimates;
+        std::vector<double> log_sums(slice.size(), 0.0);
+        for (MscnModel& member : members_) {
+          member_estimates.clear();
+          member.Predict(batch, tape, &member_estimates);
+          for (size_t i = 0; i < slice.size(); ++i) {
+            log_sums[i] += std::log(std::max(1.0, member_estimates[i]));
+          }
+        }
+        for (size_t i = 0; i < slice.size(); ++i) {
+          estimates[begin + i] =
+              std::exp(log_sums[i] / static_cast<double>(members_.size()));
+        }
+      });
+  return estimates;
 }
 
 bool MscnEnsemble::IsConfident(const LabeledQuery& query, double max_factor) {

@@ -16,6 +16,7 @@
 #include "core/mscn_estimator.h"
 #include "core/trainer.h"
 #include "est/estimator.h"
+#include "util/parallel.h"
 
 namespace lc {
 
@@ -36,7 +37,9 @@ class MscnEnsemble : public CardinalityEstimator {
  public:
   /// Trains `size` members with seeds config.seed, config.seed+1, ...
   /// History entries of the members are discarded; training cost scales
-  /// linearly with `size`.
+  /// linearly with `size` but the members are fitted concurrently across
+  /// the process pool (each depends only on its own seed, so the trained
+  /// weights match a sequential run exactly).
   MscnEnsemble(const Featurizer* featurizer, const MscnConfig& config,
                int size, const std::vector<const LabeledQuery*>& train,
                const std::vector<const LabeledQuery*>& validation);
@@ -57,6 +60,13 @@ class MscnEnsemble : public CardinalityEstimator {
   /// True when the members agree within a factor of `max_factor`
   /// (max/min <= max_factor): the "trust the model" predicate of section 5.
   bool IsConfident(const LabeledQuery& query, double max_factor);
+
+  /// Batched ensemble point estimates (geometric mean of the members per
+  /// query): batches are partitioned across `pool` with per-shard tapes,
+  /// like MscnEstimator::EstimateAll.
+  std::vector<double> EstimateAll(
+      const std::vector<const LabeledQuery*>& queries, size_t batch_size,
+      ThreadPool* pool = ThreadPool::Global());
 
   int size() const { return static_cast<int>(members_.size()); }
   MscnModel& member(int index);

@@ -43,6 +43,13 @@ class MscnModel {
 
   const FeatureDims& dims() const { return dims_; }
   const MscnConfig& config() const { return config_; }
+
+  /// Weight-mutation counter: bumped by whoever updates the parameters of
+  /// an already-served model (Trainer::ContinueTraining). Result caches
+  /// key their validity on it (see MscnEstimator).
+  uint64_t revision() const { return revision_; }
+  void BumpRevision() { ++revision_; }
+
   TargetNormalizer& normalizer() { return normalizer_; }
   const TargetNormalizer& normalizer() const { return normalizer_; }
   void set_normalizer(TargetNormalizer normalizer) {
@@ -62,6 +69,7 @@ class MscnModel {
   FeatureDims dims_;
   MscnConfig config_;
   TargetNormalizer normalizer_;
+  uint64_t revision_ = 0;
   TwoLayerMlp table_module_;
   TwoLayerMlp join_module_;
   TwoLayerMlp predicate_module_;

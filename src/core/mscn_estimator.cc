@@ -3,11 +3,36 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/env.h"
 
 namespace lc {
 
+void ForEachBatchShard(
+    const std::vector<const LabeledQuery*>& queries, size_t batch_size,
+    ThreadPool* pool,
+    const std::function<void(Tape* tape,
+                             const std::vector<const LabeledQuery*>& slice,
+                             size_t begin)>& per_batch) {
+  LC_CHECK_GT(batch_size, 0u);
+  const size_t num_batches = (queries.size() + batch_size - 1) / batch_size;
+  ParallelForShards(
+      pool, 0, num_batches, /*grain=*/0,
+      [&](size_t /*shard*/, size_t lo, size_t hi) {
+        Tape tape;  // Per-shard workspace, reused across its batches.
+        for (size_t batch_index = lo; batch_index < hi; ++batch_index) {
+          const size_t begin = batch_index * batch_size;
+          const size_t end = std::min(queries.size(), begin + batch_size);
+          const std::vector<const LabeledQuery*> slice(
+              queries.begin() + static_cast<ptrdiff_t>(begin),
+              queries.begin() + static_cast<ptrdiff_t>(end));
+          per_batch(&tape, slice, begin);
+        }
+      });
+}
+
 MscnEstimator::MscnEstimator(const Featurizer* featurizer, MscnModel* model,
-                             std::string display_name)
+                             std::string display_name,
+                             int64_t cache_capacity)
     : featurizer_(featurizer),
       model_(model),
       display_name_(std::move(display_name)) {
@@ -15,28 +40,58 @@ MscnEstimator::MscnEstimator(const Featurizer* featurizer, MscnModel* model,
   LC_CHECK(model != nullptr);
   LC_CHECK(featurizer->dims() == model->dims())
       << "featurizer and model disagree on feature dimensions";
+  if (cache_capacity < 0) cache_capacity = GetEnvInt("LC_EST_CACHE", 4096);
+  if (cache_capacity > 0) {
+    cache_ = std::make_unique<ShardedLruCache<std::string, double>>(
+        static_cast<size_t>(cache_capacity));
+    cache_revision_ = model->revision();
+  }
 }
 
 double MscnEstimator::Estimate(const LabeledQuery& query) {
+  std::string key;
+  if (cache_) {
+    if (model_->revision() != cache_revision_) {
+      // The model was retrained in place; every cached value is stale.
+      cache_->Clear();
+      cache_revision_ = model_->revision();
+    }
+    key = query.query.CanonicalKey();
+    double cached = 0.0;
+    if (cache_->Lookup(key, &cached)) return cached;
+  }
   const MscnBatch batch = featurizer_->MakeBatch({&query}, nullptr);
   std::vector<double> estimates;
   model_->Predict(batch, &tape_, &estimates);
+  if (cache_) cache_->Insert(std::move(key), estimates[0]);
   return estimates[0];
 }
 
 std::vector<double> MscnEstimator::EstimateAll(
-    const std::vector<const LabeledQuery*>& queries, size_t batch_size) {
-  LC_CHECK_GT(batch_size, 0u);
-  std::vector<double> estimates;
-  estimates.reserve(queries.size());
-  for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
-    const size_t end = std::min(queries.size(), begin + batch_size);
-    const std::vector<const LabeledQuery*> slice(queries.begin() + begin,
-                                                 queries.begin() + end);
-    const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
-    model_->Predict(batch, &tape_, &estimates);
-  }
+    const std::vector<const LabeledQuery*>& queries, size_t batch_size,
+    ThreadPool* pool) {
+  std::vector<double> estimates(queries.size());
+  // Forward passes only read the shared model; see ForEachBatchShard for
+  // the determinism argument.
+  ForEachBatchShard(
+      queries, batch_size, pool,
+      [&](Tape* tape, const std::vector<const LabeledQuery*>& slice,
+          size_t begin) {
+        const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
+        std::vector<double> batch_estimates;
+        model_->Predict(batch, tape, &batch_estimates);
+        std::copy(batch_estimates.begin(), batch_estimates.end(),
+                  estimates.begin() + static_cast<ptrdiff_t>(begin));
+      });
   return estimates;
+}
+
+CacheCounters MscnEstimator::cache_counters() const {
+  return cache_ ? cache_->counters() : CacheCounters{};
+}
+
+void MscnEstimator::InvalidateCache() {
+  if (cache_) cache_->Clear();
 }
 
 }  // namespace lc

@@ -2,10 +2,23 @@
 // the target normalization (paper section 3.5). The estimator consumes the
 // query's precomputed sample annotations — the runtime-sampling step of the
 // paper's inference pipeline.
+//
+// Serving-path features:
+//  - An optional sharded LRU result cache (canonical query → estimate)
+//    sized by the LC_EST_CACHE knob (entries; 0 disables; default 4096).
+//    A hit skips featurization and the forward pass. Counters are exposed
+//    via cache_counters() and printed by eval::PrintCacheCounters. The
+//    cache tracks the model's weight revision and drops itself when the
+//    model is retrained in place (Trainer::ContinueTraining).
+//  - EstimateAll partitions its batches across the process thread pool
+//    with per-shard tapes, yielding the same estimates as the sequential
+//    path bit-for-bit (padding rows are zero and masked, so a query's
+//    forward pass is independent of its batch neighbours).
 
 #ifndef LC_CORE_MSCN_ESTIMATOR_H_
 #define LC_CORE_MSCN_ESTIMATOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -13,31 +26,67 @@
 #include "core/model.h"
 #include "est/estimator.h"
 #include "nn/tape.h"
+#include "util/lru_cache.h"
+#include "util/parallel.h"
 
 namespace lc {
+
+/// Shared scaffolding of the batched estimation paths (MscnEstimator and
+/// MscnEnsemble): partitions [0, queries.size()) into consecutive batches
+/// of `batch_size`, shards whole batches across `pool`, and calls
+/// per_batch(tape, slice, begin) with a per-shard reusable tape. Batch
+/// composition and result slots are fixed, so callers writing estimates
+/// to [begin, begin + slice.size()) are deterministic per worker count.
+void ForEachBatchShard(
+    const std::vector<const LabeledQuery*>& queries, size_t batch_size,
+    ThreadPool* pool,
+    const std::function<void(Tape* tape,
+                             const std::vector<const LabeledQuery*>& slice,
+                             size_t begin)>& per_batch);
 
 class MscnEstimator : public CardinalityEstimator {
  public:
   /// Takes ownership of nothing: featurizer and model must outlive the
-  /// estimator.
+  /// estimator. `cache_capacity < 0` reads LC_EST_CACHE (default 4096);
+  /// 0 disables the result cache.
   MscnEstimator(const Featurizer* featurizer, MscnModel* model,
-                std::string display_name = "MSCN");
+                std::string display_name = "MSCN",
+                int64_t cache_capacity = -1);
 
   std::string name() const override { return display_name_; }
   double Estimate(const LabeledQuery& query) override;
 
-  /// Batched estimation (much faster than per-query calls).
+  /// Batched estimation (much faster than per-query calls); batches are
+  /// scored across `pool` (nullptr = inline). Does not consult or fill the
+  /// result cache — batch scoring is already cheap per query and skipping
+  /// the cache keeps the hot loop lock-free.
   std::vector<double> EstimateAll(
-      const std::vector<const LabeledQuery*>& queries, size_t batch_size);
+      const std::vector<const LabeledQuery*>& queries, size_t batch_size,
+      ThreadPool* pool = ThreadPool::Global());
+
+  /// Hit/miss/eviction counters of the result cache (zeroes when the cache
+  /// is disabled).
+  CacheCounters cache_counters() const;
+  size_t cache_capacity() const { return cache_ ? cache_->capacity() : 0; }
+
+  /// Drops all cached estimates. Model retraining through
+  /// Trainer::ContinueTraining is detected automatically (weight revision
+  /// counter); call this only after mutating the model some other way.
+  void InvalidateCache();
 
  private:
   const Featurizer* featurizer_;
   MscnModel* model_;
   std::string display_name_;
   // Serving workspace, reused across calls so steady-state inference does
-  // not allocate tensor storage. Makes the estimator stateful: a single
-  // instance must not serve concurrent calls.
+  // not allocate tensor storage. Makes single-query Estimate stateful: a
+  // single instance must not serve concurrent Estimate calls (EstimateAll
+  // uses per-shard tapes and is safe to parallelize internally).
   Tape tape_;
+  // Keyed by the canonical query text itself (not its hash), so a hit is
+  // exact by construction. Valid for model revision cache_revision_ only.
+  std::unique_ptr<ShardedLruCache<std::string, double>> cache_;
+  uint64_t cache_revision_ = 0;
 };
 
 }  // namespace lc

@@ -1,7 +1,10 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <memory>
+#include <thread>
 
+#include "core/mscn_estimator.h"  // ForEachBatchShard.
 #include "nn/adam.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -35,7 +38,9 @@ TrainValSplit SplitWorkload(const Workload& workload,
 }
 
 Trainer::Trainer(const Featurizer* featurizer, MscnConfig config)
-    : featurizer_(featurizer), config_(config) {
+    : featurizer_(featurizer),
+      config_(config),
+      pipeline_featurization_(Lanes() > 1) {
   LC_CHECK(featurizer != nullptr);
   LC_CHECK_GT(config.epochs, 0);
   LC_CHECK_GT(config.batch_size, 0);
@@ -45,23 +50,21 @@ double Trainer::EvaluateMeanQError(
     MscnModel* model,
     const std::vector<const LabeledQuery*>& queries) const {
   LC_CHECK(!queries.empty());
-  std::vector<double> qerrors;
-  qerrors.reserve(queries.size());
-  Tape tape;  // Reused across batches; see nn/tape.h.
-  std::vector<double> estimates;
-  const size_t batch_size = static_cast<size_t>(config_.batch_size);
-  for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
-    const size_t end = std::min(queries.size(), begin + batch_size);
-    const std::vector<const LabeledQuery*> slice(queries.begin() + begin,
-                                                 queries.begin() + end);
-    const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
-    estimates.clear();
-    model->Predict(batch, &tape, &estimates);
-    for (size_t i = 0; i < slice.size(); ++i) {
-      qerrors.push_back(QError(estimates[i],
-                               static_cast<double>(slice[i]->cardinality)));
-    }
-  }
+  std::vector<double> qerrors(queries.size());
+  // Forward passes read the model parameters concurrently but all mutable
+  // state (tape, estimates) is per-shard; q-errors land in fixed slots.
+  ForEachBatchShard(
+      queries, static_cast<size_t>(config_.batch_size), ThreadPool::Global(),
+      [&](Tape* tape, const std::vector<const LabeledQuery*>& slice,
+          size_t begin) {
+        const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
+        std::vector<double> estimates;
+        model->Predict(batch, tape, &estimates);
+        for (size_t i = 0; i < slice.size(); ++i) {
+          qerrors[begin + i] = QError(
+              estimates[i], static_cast<double>(slice[i]->cardinality));
+        }
+      });
   return Mean(qerrors);
 }
 
@@ -85,36 +88,89 @@ void Trainer::RunEpochs(MscnModel* model,
   const int base_epoch =
       history == nullptr ? 0 : static_cast<int>(history->epochs.size());
 
+  // One gradient step; shared verbatim by the synchronous and pipelined
+  // epoch loops below, so both produce bit-identical updates.
+  double loss_sum = 0.0;
+  int64_t batches = 0;
+  const auto train_step = [&](const MscnBatch& batch) {
+    tape.Reset();
+    const Tape::NodeId prediction = model->Forward(&tape, batch);
+    Tape::NodeId loss = 0;
+    switch (config_.loss) {
+      case LossKind::kMeanQError:
+        loss = tape.MeanQErrorLoss(prediction, batch.targets, log_range);
+        break;
+      case LossKind::kGeoQError:
+        loss = tape.GeoQErrorLoss(prediction, batch.targets, log_range);
+        break;
+      case LossKind::kMse:
+        loss = tape.MseLoss(prediction, batch.targets);
+        break;
+    }
+    loss_sum += tape.value(loss)[0];
+    ++batches;
+    adam.ZeroGrad();
+    tape.Backward(loss);
+    adam.Step();
+  };
+
   for (int epoch = 0; epoch < epochs; ++epoch) {
     WallTimer epoch_timer;
     shuffle_rng.Shuffle(&order);
-    double loss_sum = 0.0;
-    int64_t batches = 0;
+    loss_sum = 0.0;
+    batches = 0;
     const size_t batch_size = static_cast<size_t>(config_.batch_size);
-    for (size_t begin = 0; begin < order.size(); begin += batch_size) {
-      const size_t end = std::min(order.size(), begin + batch_size);
-      const std::vector<const LabeledQuery*> slice(order.begin() + begin,
-                                                   order.begin() + end);
-      const MscnBatch batch = featurizer_->MakeBatch(slice, &normalizer);
-      tape.Reset();
-      const Tape::NodeId prediction = model->Forward(&tape, batch);
-      Tape::NodeId loss = 0;
-      switch (config_.loss) {
-        case LossKind::kMeanQError:
-          loss = tape.MeanQErrorLoss(prediction, batch.targets, log_range);
-          break;
-        case LossKind::kGeoQError:
-          loss = tape.GeoQErrorLoss(prediction, batch.targets, log_range);
-          break;
-        case LossKind::kMse:
-          loss = tape.MseLoss(prediction, batch.targets);
-          break;
+    if (!pipeline_featurization_) {
+      for (size_t begin = 0; begin < order.size(); begin += batch_size) {
+        const size_t end = std::min(order.size(), begin + batch_size);
+        const std::vector<const LabeledQuery*> slice(order.begin() + begin,
+                                                     order.begin() + end);
+        train_step(featurizer_->MakeBatch(slice, &normalizer));
       }
-      loss_sum += tape.value(loss)[0];
-      ++batches;
-      adam.ZeroGrad();
-      tape.Backward(loss);
-      adam.Step();
+    } else {
+      // Producer/consumer overlap: a dedicated thread featurizes batches in
+      // shuffle order ahead of the optimizer (backpressure via the bounded
+      // queue). The batch sequence and the update math are exactly those of
+      // the synchronous loop, so the loss curve does not depend on the
+      // mode. The producer is a plain thread — not a pool task — so a busy
+      // pool can never stall an epoch, and the tape only borrows tensors of
+      // the batch it currently owns.
+      BoundedQueue<std::unique_ptr<MscnBatch>> queue(4);
+      std::exception_ptr producer_error;  // Read only after join().
+      std::thread producer([&] {
+        try {
+          for (size_t begin = 0; begin < order.size();
+               begin += batch_size) {
+            const size_t end = std::min(order.size(), begin + batch_size);
+            const std::vector<const LabeledQuery*> slice(
+                order.begin() + begin, order.begin() + end);
+            auto batch = std::make_unique<MscnBatch>(
+                featurizer_->MakeBatch(slice, &normalizer));
+            if (!queue.Push(std::move(batch))) return;
+          }
+        } catch (...) {
+          // Surfaced on the training thread after join(); an exception
+          // escaping a thread function would std::terminate.
+          producer_error = std::current_exception();
+        }
+        queue.Close();
+      });
+      try {
+        std::unique_ptr<MscnBatch> batch;
+        while (queue.Pop(&batch)) train_step(*batch);
+      } catch (...) {
+        // Unblock the producer (its next Push fails), drain, and join
+        // before rethrowing — a joinable thread destructor would
+        // std::terminate instead of propagating the error.
+        queue.Close();
+        std::unique_ptr<MscnBatch> drained;
+        while (queue.Pop(&drained)) {
+        }
+        producer.join();
+        throw;
+      }
+      producer.join();
+      if (producer_error) std::rethrow_exception(producer_error);
     }
 
     if (history != nullptr) {
@@ -166,6 +222,7 @@ void Trainer::ContinueTraining(
   LC_CHECK(model->dims() == featurizer_->dims())
       << "model was trained for a different featurization";
   LC_CHECK_GT(epochs, 0);
+  model->BumpRevision();  // Stales any estimator result cache over `model`.
   RunEpochs(model, train, validation, epochs,
             config_.seed ^ 0x1c0de5a17ULL, history);
 }

@@ -9,6 +9,7 @@
 
 #include "core/featurizer.h"
 #include "core/model.h"
+#include "util/parallel.h"
 
 namespace lc {
 
@@ -57,12 +58,25 @@ class Trainer {
                         int epochs, TrainingHistory* history);
 
   /// Mean q-error of `model` on `queries` (denormalized predictions vs true
-  /// cardinalities).
+  /// cardinalities). Batches are scored across the process pool with
+  /// per-shard tapes; each query's q-error lands in a fixed slot, so the
+  /// mean is identical for every worker count.
   double EvaluateMeanQError(MscnModel* model,
                             const std::vector<const LabeledQuery*>& queries)
       const;
 
   const MscnConfig& config() const { return config_; }
+
+  /// Whether epochs overlap mini-batch featurization with the
+  /// forward/backward pass (a producer thread feeding a BoundedQueue).
+  /// Defaults to on when the process has more than one lane; both modes
+  /// run the identical batch sequence through the identical update math,
+  /// so the loss curve is bit-identical either way (asserted by
+  /// tests/parallel_test.cc). Exposed for tests and benchmarks.
+  void set_pipeline_featurization(bool enabled) {
+    pipeline_featurization_ = enabled;
+  }
+  bool pipeline_featurization() const { return pipeline_featurization_; }
 
  private:
   // Shared mini-batch Adam loop used by Train and ContinueTraining.
@@ -73,6 +87,7 @@ class Trainer {
 
   const Featurizer* featurizer_;
   MscnConfig config_;
+  bool pipeline_featurization_ = false;  // Set from the lane count in ctor.
 };
 
 }  // namespace lc

@@ -2,6 +2,7 @@
 
 #include "util/env.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/str.h"
 #include "util/timer.h"
 #include "workload/job_light.h"
@@ -70,16 +71,22 @@ Workload Experiment::BuildScale() {
   Workload workload;
   workload.name = "scale";
   workload.sample_size = samples_.sample_size();
-  for (int joins = 0; joins <= 4; ++joins) {
+  // The five per-join-count slices use independent generators (distinct
+  // seeds), so they label concurrently; concatenation order stays 0..4.
+  std::vector<Workload> slices(5);
+  ParallelFor(ThreadPool::Global(), 0, slices.size(), 1, [&](size_t index) {
+    const int joins = static_cast<int>(index);
     GeneratorConfig generator_config;
     generator_config.seed =
         config_.scale_seed + static_cast<uint64_t>(joins) * 13;
     generator_config.min_joins = joins;
     generator_config.max_joins = joins;
     QueryGenerator generator(&db_, generator_config);
-    const Workload slice = generator.GenerateLabeled(
+    slices[index] = generator.GenerateLabeled(
         executor_, samples_, config_.scale_queries_per_join,
         Format("scale-%d", joins));
+  });
+  for (const Workload& slice : slices) {
     for (const LabeledQuery& labeled : slice.queries) {
       workload.queries.push_back(labeled);
     }
@@ -92,10 +99,23 @@ Workload Experiment::BuildJobLight() {
   Workload workload;
   workload.name = "JOB-light";
   workload.sample_size = samples_.sample_size();
-  for (const Query& query : BuildJobLightQueries(db_)) {
-    workload.queries.push_back(LabelQuery(query, &executor_, samples_));
-  }
+  const std::vector<Query> queries = BuildJobLightQueries(db_);
+  workload.queries.resize(queries.size());
+  // The query list is fixed; labelling is pure, so slots fill in parallel.
+  ParallelFor(ThreadPool::Global(), 0, queries.size(), 1, [&](size_t i) {
+    workload.queries[i] = LabelQuery(queries[i], &executor_, samples_);
+  });
   return workload;
+}
+
+void Experiment::PrefetchWorkloads() {
+  // Each task touches only its own optional<Workload> member and its own
+  // cache file; db_/executor_/samples_ are read-only after construction.
+  ParallelInvoke(ThreadPool::Global(),
+                 {[this] { TrainingWorkload(); },
+                  [this] { SyntheticWorkload(); },
+                  [this] { ScaleWorkload(); },
+                  [this] { JobLightWorkload(); }});
 }
 
 const Workload& Experiment::TrainingWorkload() {

@@ -56,6 +56,13 @@ class Experiment {
   const Executor& executor() const { return executor_; }
   const SampleSet& samples() const { return samples_; }
 
+  /// Materializes all four workloads, building the missing ones
+  /// concurrently across the process pool (each build is independent:
+  /// distinct generator seeds, distinct cache files, a read-only database
+  /// and executor). Idempotent; the individual accessors below return the
+  /// same objects afterwards.
+  void PrefetchWorkloads();
+
   /// The labelled training corpus (0-2 joins, section 3.3), cached on disk.
   const Workload& TrainingWorkload();
   /// The synthetic evaluation workload (same generator, different seed).

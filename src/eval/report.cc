@@ -109,6 +109,22 @@ void PrintBoxplotFigure(std::ostream& os, const std::string& title,
         "overestimation)\n";
 }
 
+void PrintCacheCounters(std::ostream& os, const std::string& name,
+                        const CacheCounters& counters) {
+  if (counters.lookups() == 0) {
+    os << Format("%s result cache: disabled or unused\n", name.c_str());
+    return;
+  }
+  os << Format(
+      "%s result cache: %llu hits / %llu lookups (%.1f%% hit rate, "
+      "%llu insertions, %llu evictions)\n",
+      name.c_str(), static_cast<unsigned long long>(counters.hits),
+      static_cast<unsigned long long>(counters.lookups()),
+      counters.HitRate() * 100.0,
+      static_cast<unsigned long long>(counters.insertions),
+      static_cast<unsigned long long>(counters.evictions));
+}
+
 void PrintJoinDistribution(std::ostream& os,
                            const std::vector<const Workload*>& workloads,
                            int max_joins) {

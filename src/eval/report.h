@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "est/estimator.h"
+#include "util/lru_cache.h"
 #include "util/stats.h"
 #include "workload/workload.h"
 
@@ -63,6 +64,11 @@ void PrintJoinDistribution(std::ostream& os,
 NamedBoxSeries BoxSeriesByJoins(const std::string& name,
                                 const std::vector<double>& estimates,
                                 const Workload& workload, int max_joins);
+
+/// Prints the result-cache effectiveness line of a serving estimator
+/// (see MscnEstimator::cache_counters and the LC_EST_CACHE knob).
+void PrintCacheCounters(std::ostream& os, const std::string& name,
+                        const CacheCounters& counters);
 
 }  // namespace lc
 

@@ -1,0 +1,202 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "util/env.h"
+
+namespace lc {
+
+int DefaultParallelism() {
+  int64_t configured = GetEnvInt("LC_THREADS", 0);
+  if (configured <= 0) {
+    configured = static_cast<int64_t>(std::thread::hardware_concurrency());
+  }
+  // hardware_concurrency() may return 0; cap at a sane fleet size.
+  return static_cast<int>(std::clamp<int64_t>(configured, 1, 256));
+}
+
+ThreadPool::ThreadPool(int workers) {
+  LC_CHECK_GE(workers, 0);
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();  // Degenerate pool: run inline.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  // Leaked on purpose: the pool must outlive every static that might run a
+  // parallel section during destruction.
+  static ThreadPool* pool = new ThreadPool(DefaultParallelism() - 1);
+  return pool;
+}
+
+int Lanes(const ThreadPool* pool) {
+  return pool == nullptr ? 1 : pool->workers() + 1;
+}
+
+int Lanes() { return Lanes(ThreadPool::Global()); }
+
+namespace {
+
+// Shared state of one ParallelForShards call. Helpers hold a shared_ptr so
+// a task that only runs after the caller returned (all shards already
+// drained) still touches valid memory.
+struct ForState {
+  size_t begin = 0;
+  size_t grain = 0;
+  size_t total_shards = 0;
+  size_t end = 0;
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  size_t done = 0;  // Guarded by mu.
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;  // First failure; guarded by mu.
+
+  // Runs shards until the counter is exhausted. Safe to call from any
+  // thread; `body` is only dereferenced while undone shards remain, which
+  // the caller's completion wait keeps alive. After a failure, remaining
+  // shards are claimed and counted but not executed (fail fast); shards
+  // already running elsewhere still finish.
+  void Drain() {
+    for (;;) {
+      const size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= total_shards) return;
+      std::exception_ptr failure;
+      if (!failed.load(std::memory_order_relaxed)) {
+        const size_t lo = begin + shard * grain;
+        const size_t hi = std::min(end, lo + grain);
+        try {
+          (*body)(shard, lo, hi);
+        } catch (...) {
+          failure = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (failure && !error) error = failure;
+      if (++done == total_shards) all_done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelForShards(
+    ThreadPool* pool, size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t shard_index, size_t lo, size_t hi)>&
+        body) {
+  if (end <= begin) return;
+  const size_t total_items = end - begin;
+  const int lanes = Lanes(pool);
+  if (grain == 0) {
+    // Auto grain: ~4 shards per lane for load balance. Only valid when the
+    // caller's result does not depend on the partition (see header).
+    grain = std::max<size_t>(
+        1, total_items / (4 * static_cast<size_t>(lanes)));
+  }
+  const size_t total_shards = (total_items + grain - 1) / grain;
+
+  const int helpers =
+      pool == nullptr
+          ? 0
+          : static_cast<int>(std::min<size_t>(
+                static_cast<size_t>(pool->workers()),
+                total_shards > 0 ? total_shards - 1 : 0));
+  if (helpers == 0) {
+    for (size_t shard = 0; shard < total_shards; ++shard) {
+      const size_t lo = begin + shard * grain;
+      body(shard, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->total_shards = total_shards;
+  state->body = &body;
+  for (int i = 0; i < helpers; ++i) {
+    pool->Submit([state] { state->Drain(); });
+  }
+  state->Drain();  // The caller is a lane too (prevents nested deadlock).
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock,
+                       [&] { return state->done == state->total_shards; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t i)>& fn) {
+  ParallelForShards(pool, begin, end, grain,
+                    [&fn](size_t /*shard*/, size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+void ParallelInvoke(ThreadPool* pool,
+                    std::vector<std::function<void()>> tasks) {
+  ParallelForShards(pool, 0, tasks.size(), 1,
+                    [&tasks](size_t shard, size_t, size_t) {
+                      tasks[shard]();
+                    });
+}
+
+void ParallelForShards(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t shard_index, size_t lo, size_t hi)>&
+        body) {
+  ParallelForShards(ThreadPool::Global(), begin, end, grain, body);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t i)>& fn) {
+  ParallelFor(ThreadPool::Global(), begin, end, grain, fn);
+}
+
+void ParallelInvoke(std::vector<std::function<void()>> tasks) {
+  ParallelInvoke(ThreadPool::Global(), std::move(tasks));
+}
+
+}  // namespace lc

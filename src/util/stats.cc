@@ -62,6 +62,39 @@ ErrorSummary Summarize(const std::vector<double>& qerrors) {
   return summary;
 }
 
+void RunningStat::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(count_);
+  const double n_b = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n_a + n_b;
+  mean_ += delta * n_b / total;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
 BoxSummary SummarizeBox(const std::vector<double>& signed_qerrors) {
   BoxSummary summary;
   if (signed_qerrors.empty()) return summary;

@@ -6,6 +6,7 @@
 #define LC_UTIL_STATS_H_
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,38 @@ struct BoxSummary {
 
 /// Computes the box-plot summary over signed q-errors.
 BoxSummary SummarizeBox(const std::vector<double>& signed_qerrors);
+
+/// Mergeable streaming moments (count/mean/variance/min/max) via Welford's
+/// update, with the pairwise combination of Chan et al. so per-thread
+/// accumulators can be Merge()d into one — the reduction shape every
+/// parallel stage uses (see util/parallel.h).
+class RunningStat {
+ public:
+  /// Folds one observation in.
+  void Add(double value);
+
+  /// Folds another accumulator in, as if its observations had been Add()ed
+  /// here. Order-sensitive only up to floating-point rounding.
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return mean_; }
+  /// Population variance; 0 when fewer than two observations.
+  double Variance() const;
+  double StdDev() const;
+  /// Smallest / largest observation; +/-infinity when empty.
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Sum of squared deviations from the running mean.
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
 
 }  // namespace lc
 

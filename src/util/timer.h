@@ -25,6 +25,10 @@ class WallTimer {
 
  private:
   using Clock = std::chrono::steady_clock;
+  // Epoch timings (EpochStats::seconds) and throughput numbers must stay
+  // monotonic under wall-clock adjustments and multi-threaded load; a
+  // non-steady clock here would silently skew them.
+  static_assert(Clock::is_steady, "timers must use a monotonic clock");
   Clock::time_point start_;
 };
 

@@ -6,6 +6,7 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/str.h"
+#include "util/timer.h"
 
 namespace lc {
 
@@ -109,28 +110,77 @@ Query QueryGenerator::Generate() {
 
 Workload QueryGenerator::GenerateLabeled(const Executor& executor,
                                          const SampleSet& samples,
-                                         size_t count,
-                                         const std::string& name) {
+                                         size_t count, const std::string& name,
+                                         ThreadPool* pool) {
   Workload workload;
   workload.name = name;
   workload.sample_size = samples.sample_size();
   workload.queries.reserve(count);
+  label_time_stats_ = RunningStat();
   int64_t attempts = 0;
   const int64_t attempt_budget =
       static_cast<int64_t>(count) * config_.max_attempts_per_query;
+
+  // Pipeline: draw a wave of unique candidates sequentially (the Rng stream
+  // and the dedup set advance in one deterministic order), label the wave
+  // across the pool (labelling is pure — no randomness), then accept in
+  // generation order. The accepted prefix is the same for every wave size,
+  // so the output never depends on the worker count; a larger wave only
+  // risks labelling a few extra candidates after the last acceptance.
+  const size_t lanes = static_cast<size_t>(Lanes(pool));
   while (workload.queries.size() < count) {
-    LC_CHECK_LT(attempts, attempt_budget)
-        << "query generation stalled; too many duplicates/empties for"
+    const size_t remaining = count - workload.queries.size();
+    // Waves scale with the remaining work so the serial generation phase
+    // and the fork/join barrier amortize over large corpora (the 16Ki cap
+    // bounds wave memory); skip_empty rejections shrink `remaining`
+    // geometrically, so only a handful of waves ever run. The sizing must
+    // NOT depend on the lane count: overshoot (candidates drawn beyond the
+    // last acceptance) advances rng_ and seen_, and a reused generator's
+    // next call has to start from the same state for every LC_THREADS.
+    const size_t wave_target =
+        std::max<size_t>(16, std::min<size_t>(remaining, 16384));
+    std::vector<Query> wave;
+    wave.reserve(wave_target);
+    while (wave.size() < wave_target && attempts < attempt_budget) {
+      ++attempts;
+      Query query = Generate();
+      if (!seen_.insert(query.CanonicalKey()).second) continue;
+      wave.push_back(std::move(query));
+    }
+    LC_CHECK(!wave.empty() || attempts < attempt_budget)
+        << "query generation stalled; too many duplicates/empties for "
         << name;
-    ++attempts;
-    Query query = Generate();
-    if (!seen_.insert(query.CanonicalKey()).second) continue;
-    LabeledQuery labeled = LabelQuery(query, &executor, samples);
-    if (config_.skip_empty && labeled.cardinality <= 0) continue;
-    workload.queries.push_back(std::move(labeled));
+
+    std::vector<LabeledQuery> labeled(wave.size());
+    const size_t grain =
+        std::max<size_t>(1, wave.size() / (4 * lanes));
+    std::vector<RunningStat> shard_times((wave.size() + grain - 1) / grain);
+    ParallelForShards(
+        pool, 0, wave.size(), grain,
+        [&](size_t shard, size_t lo, size_t hi) {
+          RunningStat& times = shard_times[shard];
+          for (size_t i = lo; i < hi; ++i) {
+            WallTimer timer;
+            labeled[i] = LabelQuery(wave[i], &executor, samples);
+            times.Add(timer.Seconds());
+          }
+        });
+    for (RunningStat& times : shard_times) label_time_stats_.Merge(times);
+
+    for (LabeledQuery& query : labeled) {
+      if (config_.skip_empty && query.cardinality <= 0) continue;
+      if (workload.queries.size() >= count) break;
+      workload.queries.push_back(std::move(query));
+    }
+    LC_CHECK(workload.queries.size() >= count || attempts < attempt_budget)
+        << "query generation stalled; too many duplicates/empties for "
+        << name;
   }
   LC_LOG(DEBUG) << "generated " << workload.queries.size() << " queries for "
-                << name << " in " << attempts << " attempts";
+                << name << " in " << attempts << " attempts over "
+                << lanes << " lanes (label mean "
+                << label_time_stats_.mean() * 1e3 << "ms, max "
+                << label_time_stats_.max() * 1e3 << "ms)";
   return workload;
 }
 

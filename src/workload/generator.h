@@ -14,6 +14,8 @@
 #include "db/database.h"
 #include "exec/executor.h"
 #include "sample/sample.h"
+#include "util/parallel.h"
+#include "util/stats.h"
 #include "workload/workload.h"
 
 namespace lc {
@@ -43,10 +45,23 @@ class QueryGenerator {
   /// Generates `count` unique queries labelled with true cardinalities and
   /// sample annotations, honouring skip_empty. Checks (fatally) that the
   /// attempt budget suffices.
+  ///
+  /// Candidate queries are drawn sequentially (one Rng stream, one dedup
+  /// set) but the expensive labelling — executing the true-cardinality
+  /// count and the sample bitmaps — fans out over `pool` in waves, and
+  /// candidates are accepted in generation order. The produced workload is
+  /// therefore bit-identical for every worker count, including the fully
+  /// sequential pool (see docs/ARCHITECTURE.md, "Concurrency"). `pool`
+  /// defaults to the process pool; nullptr labels inline.
   Workload GenerateLabeled(const Executor& executor, const SampleSet& samples,
-                           size_t count, const std::string& name);
+                           size_t count, const std::string& name,
+                           ThreadPool* pool = ThreadPool::Global());
 
   const GeneratorConfig& config() const { return config_; }
+
+  /// Per-query labelling wall time of the last GenerateLabeled call,
+  /// merged from the per-shard accumulators (seconds).
+  const RunningStat& label_time_stats() const { return label_time_stats_; }
 
  private:
   /// Draws a uniformly random literal from the actual values of a column
@@ -57,6 +72,7 @@ class QueryGenerator {
   GeneratorConfig config_;
   Rng rng_;
   std::unordered_set<std::string> seen_;
+  RunningStat label_time_stats_;
 };
 
 }  // namespace lc

@@ -91,6 +91,62 @@ TEST(SummarizeTest, EmptyInputGivesZeroCount) {
   EXPECT_EQ(summary.count, 0u);
 }
 
+TEST(RunningStatTest, MomentsMatchDirectComputation) {
+  RunningStat stat;
+  std::vector<double> values = {3.0, -1.5, 7.25, 0.0, 12.0, 4.5};
+  for (double value : values) stat.Add(value);
+  EXPECT_EQ(stat.count(), values.size());
+  EXPECT_NEAR(stat.mean(), Mean(values), 1e-12);
+  double variance = 0.0;
+  for (double value : values) {
+    variance += (value - Mean(values)) * (value - Mean(values));
+  }
+  variance /= static_cast<double>(values.size());
+  EXPECT_NEAR(stat.Variance(), variance, 1e-12);
+  EXPECT_EQ(stat.min(), -1.5);
+  EXPECT_EQ(stat.max(), 12.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequentialAccumulation) {
+  // The parallel reduction shape: per-shard accumulators merged must match
+  // one accumulator fed every observation.
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(std::sin(static_cast<double>(i)) * 100.0);
+  }
+  RunningStat sequential;
+  for (double value : values) sequential.Add(value);
+
+  RunningStat merged;
+  for (size_t shard = 0; shard < 7; ++shard) {
+    RunningStat partial;
+    for (size_t i = shard; i < values.size(); i += 7) {
+      partial.Add(values[i]);
+    }
+    merged.Merge(partial);
+  }
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-9);
+  EXPECT_NEAR(merged.StdDev(), sequential.StdDev(), 1e-9);
+  EXPECT_EQ(merged.min(), sequential.min());
+  EXPECT_EQ(merged.max(), sequential.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat empty;
+  RunningStat stat;
+  stat.Add(5.0);
+  stat.Merge(empty);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_EQ(stat.mean(), 5.0);
+  RunningStat target;
+  target.Merge(stat);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.mean(), 5.0);
+  EXPECT_EQ(target.min(), 5.0);
+  EXPECT_EQ(target.max(), 5.0);
+}
+
 TEST(SummarizeBoxTest, OrderedPercentiles) {
   std::vector<double> signed_qerrors;
   for (int i = -500; i <= 500; ++i) {
