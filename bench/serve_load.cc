@@ -1,0 +1,207 @@
+// Closed-loop load generator for the serving front-end: C client threads
+// submit query text to a live EstimatorServer and measure per-request
+// latency (p50/p95/p99) and throughput, with the estimator result cache on
+// vs. off. The request stream draws from a fixed set of distinct queries,
+// so the cache-on run converges to the warm-hit fast path the way real
+// optimizer traffic (repeating templates) does.
+//
+// Also the end-to-end determinism gate for the serving path: every distinct
+// query's server estimate is LC_CHECKed bit-identical to a direct
+// MscnEstimator::EstimateAll over the same queries (see
+// docs/ARCHITECTURE.md, "Serving"). Recorded in BENCH_pr4_serve.json.
+//
+// Knobs: LC_SERVE_LOAD_REQUESTS (default 20000), LC_SERVE_LOAD_CLIENTS (8),
+// LC_SERVE_LOAD_DISTINCT (512), plus the server's own LC_SERVE_* set.
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "serve/server.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/str.h"
+#include "util/timer.h"
+
+namespace {
+
+struct LoadResult {
+  double seconds = 0.0;
+  double throughput_qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  lc::serve::Stats stats;
+  lc::CacheCounters cache;
+};
+
+LoadResult RunLoad(lc::MscnEstimator* estimator, const lc::Schema& schema,
+                   const lc::SampleSet& samples,
+                   const std::vector<std::string>& texts,
+                   size_t total_requests, int clients) {
+  lc::serve::EstimatorServer server(estimator, &schema, &samples);
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+
+  lc::WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int client = 0; client < clients; ++client) {
+    threads.emplace_back([&, client] {
+      std::vector<double>& mine = latencies[static_cast<size_t>(client)];
+      const size_t begin = total_requests * static_cast<size_t>(client) /
+                           static_cast<size_t>(clients);
+      const size_t end = total_requests * static_cast<size_t>(client + 1) /
+                         static_cast<size_t>(clients);
+      mine.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        // Deterministic per-request pick, uncorrelated across clients.
+        const size_t pick =
+            (i * 2654435761ULL + static_cast<size_t>(client) * 97ULL) %
+            texts.size();
+        lc::WallTimer timer;
+        const lc::serve::Response response = server.Submit(texts[pick]);
+        mine.push_back(timer.Seconds() * 1e6);
+        LC_CHECK(response.status.ok())
+            << "request rejected under load: " << response.status;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LoadResult result;
+  result.seconds = wall.Seconds();
+  result.stats = server.GetStats();
+  result.cache = estimator->cache_counters();
+  server.Shutdown();
+
+  std::vector<double> all;
+  all.reserve(total_requests);
+  for (const std::vector<double>& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  result.throughput_qps = static_cast<double>(all.size()) / result.seconds;
+  result.p50_us = lc::Quantile(all, 0.50);
+  result.p95_us = lc::Quantile(all, 0.95);
+  result.p99_us = lc::Quantile(all, 0.99);
+  result.mean_us = lc::Mean(all);
+  return result;
+}
+
+void PrintRow(const char* name, const LoadResult& result) {
+  std::cout << lc::Format(
+      "%-12s %10.0f qps %10.1f us %10.1f us %10.1f us %10.1f us\n", name,
+      result.throughput_qps, result.p50_us, result.p95_us, result.p99_us,
+      result.mean_us);
+}
+
+void PrintJson(std::ostream& os, const char* name, const LoadResult& result) {
+  os << lc::Format(
+      "    \"%s\": { \"seconds\": %.3f, \"throughput_qps\": %.0f, "
+      "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+      "\"mean_us\": %.1f, \"served\": %llu, \"admission_cache_hits\": %llu, "
+      "\"model_batches\": %llu, \"mean_batch\": %.2f, "
+      "\"mean_queue_wait_us\": %.1f, \"cache_hits\": %llu, "
+      "\"cache_misses\": %llu }",
+      name, result.seconds, result.throughput_qps, result.p50_us,
+      result.p95_us, result.p99_us, result.mean_us,
+      static_cast<unsigned long long>(result.stats.served),
+      static_cast<unsigned long long>(result.stats.admission_cache_hits),
+      static_cast<unsigned long long>(result.stats.model_batches),
+      result.stats.batch_size.mean(), result.stats.queue_wait_us.mean(),
+      static_cast<unsigned long long>(result.cache.hits),
+      static_cast<unsigned long long>(result.cache.misses));
+}
+
+}  // namespace
+
+int main() {
+  lc::Experiment experiment;
+  std::cout << "=== Serving front-end: closed-loop load ===\n";
+  experiment.PrintSetup(std::cout);
+
+  const size_t total_requests = static_cast<size_t>(
+      std::max<int64_t>(1, lc::GetEnvInt("LC_SERVE_LOAD_REQUESTS", 20000)));
+  const int clients = static_cast<int>(
+      std::max<int64_t>(1, lc::GetEnvInt("LC_SERVE_LOAD_CLIENTS", 8)));
+  const lc::Workload& synthetic = experiment.SyntheticWorkload();
+  const size_t distinct = std::min<size_t>(
+      static_cast<size_t>(
+          std::max<int64_t>(1, lc::GetEnvInt("LC_SERVE_LOAD_DISTINCT", 512))),
+      synthetic.size());
+
+  lc::MscnModel& model = experiment.Model(lc::FeatureVariant::kBitmaps);
+  const lc::Featurizer& featurizer =
+      experiment.FeaturizerFor(lc::FeatureVariant::kBitmaps);
+  const lc::Schema& schema = experiment.db().schema();
+  const lc::SampleSet& samples = experiment.samples();
+
+  std::vector<std::string> texts;
+  std::vector<const lc::LabeledQuery*> pointers;
+  texts.reserve(distinct);
+  pointers.reserve(distinct);
+  for (size_t i = 0; i < distinct; ++i) {
+    texts.push_back(synthetic.queries[i].query.Serialize());
+    pointers.push_back(&synthetic.queries[i]);
+  }
+
+  // Ground truth for the bit-match gate: the pure batched forward pass.
+  lc::MscnEstimator direct(&featurizer, &model, "direct",
+                           /*cache_capacity=*/0);
+  const std::vector<double> expected = direct.EstimateAll(pointers, 64);
+
+  const lc::serve::ServerConfig server_config =
+      lc::serve::ServerConfig::FromEnv();
+  std::cout << lc::Format(
+      "requests=%zu clients=%d distinct=%zu | lanes=%d queue=%zu batch=%zu "
+      "window=%lldus\n\n",
+      total_requests, clients, distinct, server_config.lanes,
+      server_config.queue_capacity, server_config.max_batch,
+      static_cast<long long>(server_config.window_us));
+  std::cout << lc::Format("%-12s %14s %13s %13s %13s %13s\n", "cache",
+                          "throughput", "p50", "p95", "p99", "mean");
+
+  lc::MscnEstimator cache_off(&featurizer, &model, "MSCN",
+                              /*cache_capacity=*/0);
+  const LoadResult off =
+      RunLoad(&cache_off, schema, samples, texts, total_requests, clients);
+  PrintRow("off", off);
+
+  lc::MscnEstimator cache_on(&featurizer, &model, "MSCN+cache",
+                             /*cache_capacity=*/-1);
+  const LoadResult on =
+      RunLoad(&cache_on, schema, samples, texts, total_requests, clients);
+  PrintRow("on", on);
+  lc::PrintCacheCounters(std::cout, cache_on.name(),
+                         cache_on.cache_counters());
+
+  // Bit-match gate: the server path (parse → validate → relabel → batched
+  // EstimateBatch, cache on or off) must reproduce EstimateAll exactly.
+  for (const bool use_cache : {false, true}) {
+    lc::MscnEstimator estimator(&featurizer, &model, "verify",
+                                use_cache ? int64_t{4096} : int64_t{0});
+    lc::serve::EstimatorServer server(&estimator, &schema, &samples);
+    for (size_t i = 0; i < distinct; ++i) {
+      const lc::serve::Response response = server.Submit(texts[i]);
+      LC_CHECK(response.status.ok()) << response.status;
+      LC_CHECK(response.estimate == expected[i])
+          << "server estimate diverged from EstimateAll (cache="
+          << (use_cache ? "on" : "off") << ", query " << i << "): "
+          << response.estimate << " vs " << expected[i];
+    }
+  }
+  std::cout << "\nbit-match: server estimates identical to direct "
+               "EstimateAll over all "
+            << distinct << " distinct queries (cache on and off)\n";
+
+  std::cout << "\nJSON fragment for BENCH records:\n{\n";
+  PrintJson(std::cout, "cache_off", off);
+  std::cout << ",\n";
+  PrintJson(std::cout, "cache_on", on);
+  std::cout << "\n}\n";
+  return 0;
+}

@@ -6,6 +6,8 @@
 #ifndef LC_CORE_MODEL_H_
 #define LC_CORE_MODEL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,30 @@
 #include "nn/tape.h"
 
 namespace lc {
+
+/// The model's weight-mutation counter. Atomic so result caches can check
+/// entry freshness from serving threads while a trainer bumps it, but with
+/// value-copy semantics so MscnModel keeps its defaulted copy/move special
+/// members (models live in vectors and StatusOr). A copied model starts
+/// from the source's current count; the counters then diverge, which is
+/// correct — they version independent weight sets from then on.
+class WeightRevision {
+ public:
+  WeightRevision() = default;
+  WeightRevision(const WeightRevision& other) : value_(other.load()) {}
+  WeightRevision& operator=(const WeightRevision& other) {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Acquire load: a reader that observes revision N also observes every
+  /// weight write that happened before the release-increment to N.
+  uint64_t load() const { return value_.load(std::memory_order_acquire); }
+  void Bump() { value_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
 
 class MscnModel {
  public:
@@ -46,9 +72,10 @@ class MscnModel {
 
   /// Weight-mutation counter: bumped by whoever updates the parameters of
   /// an already-served model (Trainer::ContinueTraining). Result caches
-  /// key their validity on it (see MscnEstimator).
-  uint64_t revision() const { return revision_; }
-  void BumpRevision() { ++revision_; }
+  /// key entry validity on it (see MscnEstimator); reads and bumps are
+  /// atomic, so serving threads may poll it while a retrain is in flight.
+  uint64_t revision() const { return revision_.load(); }
+  void BumpRevision() { revision_.Bump(); }
 
   TargetNormalizer& normalizer() { return normalizer_; }
   const TargetNormalizer& normalizer() const { return normalizer_; }
@@ -69,7 +96,7 @@ class MscnModel {
   FeatureDims dims_;
   MscnConfig config_;
   TargetNormalizer normalizer_;
-  uint64_t revision_ = 0;
+  WeightRevision revision_;
   TwoLayerMlp table_module_;
   TwoLayerMlp join_module_;
   TwoLayerMlp predicate_module_;

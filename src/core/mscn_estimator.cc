@@ -1,6 +1,7 @@
 #include "core/mscn_estimator.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 #include "util/env.h"
@@ -42,34 +43,108 @@ MscnEstimator::MscnEstimator(const Featurizer* featurizer, MscnModel* model,
       << "featurizer and model disagree on feature dimensions";
   if (cache_capacity < 0) cache_capacity = GetEnvInt("LC_EST_CACHE", 4096);
   if (cache_capacity > 0) {
-    cache_ = std::make_unique<ShardedLruCache<std::string, double>>(
+    cache_ = std::make_unique<ShardedLruCache<std::string, CachedEstimate>>(
         static_cast<size_t>(cache_capacity));
-    cache_revision_ = model->revision();
   }
 }
 
 double MscnEstimator::Estimate(const LabeledQuery& query) {
-  std::string key;
-  if (cache_) {
-    if (model_->revision() != cache_revision_) {
-      // The model was retrained in place; every cached value is stale.
-      cache_->Clear();
-      cache_revision_ = model_->revision();
-    }
-    key = query.query.CanonicalKey();
-    double cached = 0.0;
-    if (cache_->Lookup(key, &cached)) return cached;
-  }
-  const MscnBatch batch = featurizer_->MakeBatch({&query}, nullptr);
   std::vector<double> estimates;
-  model_->Predict(batch, &tape_, &estimates);
-  if (cache_) cache_->Insert(std::move(key), estimates[0]);
+  EstimateBatch({&query}, &tape_, &estimates, nullptr);
   return estimates[0];
+}
+
+bool MscnEstimator::LookupFresh(const std::string& canonical_key,
+                                double* estimate, bool count_miss) {
+  if (!cache_) return false;
+  // The revision is read before the entry: if a retrain bumps it between
+  // the two, a fresh-looking entry under the old revision is simply served
+  // one last time *before* the retrain's publication point — linearizable —
+  // while an entry inserted for the new revision fails the comparison and
+  // is recomputed, which is safe (never stale, merely redundant).
+  const uint64_t revision = model_->revision();
+  CachedEstimate entry;
+  if (!cache_->LookupValid(canonical_key, &entry,
+                           [revision](const CachedEstimate& cached) {
+                             return cached.revision == revision;
+                           },
+                           count_miss)) {
+    return false;
+  }
+  *estimate = entry.value;
+  return true;
+}
+
+bool MscnEstimator::ProbeCache(const std::string& canonical_key,
+                               double* estimate) {
+  // A probe miss is a peek, not a counted miss: the estimate that follows
+  // it (EstimateBatch in a server lane) re-runs the counting lookup, so
+  // counting here too would double every cold request's miss.
+  return LookupFresh(canonical_key, estimate, /*count_miss=*/false);
+}
+
+void MscnEstimator::EstimateBatch(
+    const std::vector<const LabeledQuery*>& queries, Tape* tape,
+    std::vector<double>* estimates, std::vector<uint8_t>* cache_hits) {
+  LC_CHECK(tape != nullptr);
+  const size_t count = queries.size();
+  estimates->assign(count, 0.0);
+  if (cache_hits != nullptr) cache_hits->assign(count, 0);
+  if (count == 0) return;
+
+  // Partition into cache hits (served immediately) and misses (scored as
+  // one padded batch below). With the cache disabled everything misses.
+  std::vector<size_t> miss_slots;
+  std::vector<std::string> miss_keys;
+  std::vector<const LabeledQuery*> misses;
+  if (cache_) {
+    miss_slots.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      std::string key = queries[i]->query.CanonicalKey();
+      double cached = 0.0;
+      if (LookupFresh(key, &cached, /*count_miss=*/true)) {
+        (*estimates)[i] = cached;
+        if (cache_hits != nullptr) (*cache_hits)[i] = 1;
+      } else {
+        miss_slots.push_back(i);
+        miss_keys.push_back(std::move(key));
+        misses.push_back(queries[i]);
+      }
+    }
+    if (misses.empty()) return;
+  }
+  const std::vector<const LabeledQuery*>& to_score =
+      cache_ ? misses : queries;
+
+  std::vector<double> scored;
+  uint64_t revision = 0;
+  {
+    // Forward passes read the weights; a concurrent in-place retrain holds
+    // this exclusively (AcquireModelWriteLock), so within the section the
+    // revision is stable and matches the weights we read.
+    std::shared_lock<std::shared_mutex> lock(model_mu_);
+    revision = model_->revision();
+    const MscnBatch batch = featurizer_->MakeBatch(to_score, nullptr);
+    model_->Predict(batch, tape, &scored);
+  }
+
+  if (!cache_) {
+    *estimates = std::move(scored);
+    return;
+  }
+  for (size_t j = 0; j < miss_slots.size(); ++j) {
+    (*estimates)[miss_slots[j]] = scored[j];
+    cache_->Insert(std::move(miss_keys[j]),
+                   CachedEstimate{revision, scored[j]});
+  }
 }
 
 std::vector<double> MscnEstimator::EstimateAll(
     const std::vector<const LabeledQuery*>& queries, size_t batch_size,
     ThreadPool* pool) {
+  // The caller's shared hold excludes weight writers for the whole batch
+  // sweep; the pool workers' reads are ordered through the fork/join.
+  std::shared_lock<std::shared_mutex> lock(model_mu_);
   std::vector<double> estimates(queries.size());
   // Forward passes only read the shared model; see ForEachBatchShard for
   // the determinism argument.

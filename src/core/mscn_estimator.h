@@ -7,20 +7,46 @@
 //  - An optional sharded LRU result cache (canonical query → estimate)
 //    sized by the LC_EST_CACHE knob (entries; 0 disables; default 4096).
 //    A hit skips featurization and the forward pass. Counters are exposed
-//    via cache_counters() and printed by eval::PrintCacheCounters. The
-//    cache tracks the model's weight revision and drops itself when the
-//    model is retrained in place (Trainer::ContinueTraining).
+//    via cache_counters() and printed by eval::PrintCacheCounters.
+//  - Every cache entry records the model weight revision it was computed
+//    under and is served only while that revision is current, so an
+//    in-place retrain (Trainer::ContinueTraining) can never surface a
+//    pre-retrain estimate as fresh — even when the retrain races with
+//    serving threads. See "Invalidation protocol" below.
 //  - EstimateAll partitions its batches across the process thread pool
 //    with per-shard tapes, yielding the same estimates as the sequential
 //    path bit-for-bit (padding rows are zero and masked, so a query's
 //    forward pass is independent of its batch neighbours).
+//  - EstimateBatch is the thread-safe batched submit path used by
+//    serve::EstimatorServer: it consults and fills the cache, reports
+//    per-query hit flags, and scores all misses in one forward pass on a
+//    caller-owned tape.
+//
+// Invalidation protocol (audited for races; pinned by tests/serve_test.cc
+// under TSan):
+//  - MscnModel::revision() is an atomic counter bumped (release) by
+//    ContinueTraining before it mutates weights; cache lookups load it
+//    (acquire) and treat any entry whose recorded revision differs as a
+//    miss. Entries inserted by in-flight estimates that started before a
+//    bump carry the pre-bump revision and are therefore never served after
+//    the retrain — the clear-then-reinsert window of a "wipe the cache on
+//    revision change" design cannot occur.
+//  - Weight *bytes* are guarded by a reader/writer lock: estimate paths
+//    hold it shared around the forward pass, and whoever retrains the
+//    model in place must hold AcquireModelWriteLock() for the duration.
+//    Cache hits bypass the lock entirely, so they stay fast while a
+//    retrain is in flight.
 
 #ifndef LC_CORE_MSCN_ESTIMATOR_H_
 #define LC_CORE_MSCN_ESTIMATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "core/featurizer.h"
 #include "core/model.h"
@@ -54,6 +80,8 @@ class MscnEstimator : public CardinalityEstimator {
                 int64_t cache_capacity = -1);
 
   std::string name() const override { return display_name_; }
+  const Featurizer* featurizer() const { return featurizer_; }
+
   double Estimate(const LabeledQuery& query) override;
 
   /// Batched estimation (much faster than per-query calls); batches are
@@ -64,29 +92,73 @@ class MscnEstimator : public CardinalityEstimator {
       const std::vector<const LabeledQuery*>& queries, size_t batch_size,
       ThreadPool* pool = ThreadPool::Global());
 
+  /// The serving submit path: estimates `queries` as one batch on the
+  /// caller-owned `tape`, consulting and filling the result cache.
+  /// `estimates` receives one value per query; `cache_hits` (optional) one
+  /// flag per query. Estimates are bit-identical to EstimateAll over the
+  /// same queries: hits replay a value the same forward-pass math produced
+  /// earlier, and misses are scored with padding-masked batching that is
+  /// independent of batch composition. Safe to call from many threads
+  /// concurrently provided each caller passes its own tape.
+  void EstimateBatch(const std::vector<const LabeledQuery*>& queries,
+                     Tape* tape, std::vector<double>* estimates,
+                     std::vector<uint8_t>* cache_hits);
+
+  /// Cache-only probe, keyed by Query::CanonicalKey() text: true (and
+  /// `*estimate` set) only on a hit that is fresh for the current weight
+  /// revision. Never touches the model, so it is wait-free with respect to
+  /// a concurrent retrain. Counts toward the hit/miss counters only when
+  /// it hits (a miss is recounted by the estimate that follows).
+  bool ProbeCache(const std::string& canonical_key, double* estimate);
+
+  /// Serializes in-place weight mutation against the estimate paths. Hold
+  /// the returned lock around Trainer::ContinueTraining (or any direct
+  /// parameter write) on a model that is concurrently served:
+  ///   auto guard = estimator.AcquireModelWriteLock();
+  ///   trainer.ContinueTraining(&model, ...);
+  /// Cache hits do not take this lock; misses block until the writer is
+  /// done and then score with the post-retrain weights.
+  std::unique_lock<std::shared_mutex> AcquireModelWriteLock() {
+    return std::unique_lock<std::shared_mutex>(model_mu_);
+  }
+
   /// Hit/miss/eviction counters of the result cache (zeroes when the cache
   /// is disabled).
   CacheCounters cache_counters() const;
   size_t cache_capacity() const { return cache_ ? cache_->capacity() : 0; }
 
   /// Drops all cached estimates. Model retraining through
-  /// Trainer::ContinueTraining is detected automatically (weight revision
-  /// counter); call this only after mutating the model some other way.
+  /// Trainer::ContinueTraining is detected automatically (per-entry weight
+  /// revisions); call this only after mutating the model some other way.
   void InvalidateCache();
 
  private:
+  /// A cached estimate is valid only while the model still carries the
+  /// weight revision it was computed under.
+  struct CachedEstimate {
+    uint64_t revision = 0;
+    double value = 0.0;
+  };
+
+  /// Shared lookup behind ProbeCache (peek: count_miss=false) and the
+  /// EstimateBatch miss partition (authoritative: count_miss=true).
+  bool LookupFresh(const std::string& canonical_key, double* estimate,
+                   bool count_miss);
+
   const Featurizer* featurizer_;
   MscnModel* model_;
   std::string display_name_;
   // Serving workspace, reused across calls so steady-state inference does
   // not allocate tensor storage. Makes single-query Estimate stateful: a
   // single instance must not serve concurrent Estimate calls (EstimateAll
-  // uses per-shard tapes and is safe to parallelize internally).
+  // and EstimateBatch use caller/shard-owned tapes and are thread-safe).
   Tape tape_;
+  // Readers hold shared around forward passes; in-place retrainers hold
+  // exclusive via AcquireModelWriteLock().
+  mutable std::shared_mutex model_mu_;
   // Keyed by the canonical query text itself (not its hash), so a hit is
-  // exact by construction. Valid for model revision cache_revision_ only.
-  std::unique_ptr<ShardedLruCache<std::string, double>> cache_;
-  uint64_t cache_revision_ = 0;
+  // exact by construction.
+  std::unique_ptr<ShardedLruCache<std::string, CachedEstimate>> cache_;
 };
 
 }  // namespace lc

@@ -222,7 +222,12 @@ void Trainer::ContinueTraining(
   LC_CHECK(model->dims() == featurizer_->dims())
       << "model was trained for a different featurization";
   LC_CHECK_GT(epochs, 0);
-  model->BumpRevision();  // Stales any estimator result cache over `model`.
+  // Stales any estimator result cache over `model` (entries record the
+  // revision they were computed under). If the model is concurrently
+  // served, the caller must hold MscnEstimator::AcquireModelWriteLock()
+  // around this whole call so estimate forward passes never read weights
+  // mid-update; cache hits keep flowing regardless.
+  model->BumpRevision();
   RunEpochs(model, train, validation, epochs,
             config_.seed ^ 0x1c0de5a17ULL, history);
 }

@@ -1,6 +1,9 @@
 #include "exec/query.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 
 #include "db/column.h"
 #include "util/check.h"
@@ -57,6 +60,59 @@ void Query::Canonicalize() {
               if (a.op != b.op) return a.op < b.op;
               return a.literal < b.literal;
             });
+  // Exact duplicates are redundant conjuncts; keeping them would make two
+  // texts of the same query hash to different canonical keys and skew the
+  // featurizer's predicate-set size.
+  predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                   predicates.end());
+}
+
+Status Query::Validate(const Schema& schema) const {
+  if (tables.empty()) {
+    return Status::InvalidArgument("query references no tables");
+  }
+  for (TableId table : tables) {
+    if (table < 0 || table >= schema.num_tables()) {
+      return Status::InvalidArgument(
+          Format("table id %d out of range [0, %d)", table,
+                 schema.num_tables()));
+    }
+  }
+  for (int join : joins) {
+    if (join < 0 || join >= schema.num_join_edges()) {
+      return Status::InvalidArgument(
+          Format("join edge %d out of range [0, %d)", join,
+                 schema.num_join_edges()));
+    }
+    const JoinEdgeDef& edge = schema.join_edge(join);
+    if (!UsesTable(edge.left_table) || !UsesTable(edge.right_table)) {
+      return Status::InvalidArgument(
+          Format("join edge %d references a table the query does not list",
+                 join));
+    }
+  }
+  for (const Predicate& predicate : predicates) {
+    if (!UsesTable(predicate.table)) {
+      return Status::InvalidArgument(
+          Format("predicate on table %d, which the query does not list",
+                 predicate.table));
+    }
+    // predicate.table is in the (already validated) tables list here.
+    const TableDef& table = schema.table(predicate.table);
+    if (predicate.column < 0 ||
+        predicate.column >= static_cast<int>(table.columns.size())) {
+      return Status::InvalidArgument(
+          Format("column %d out of range for table %s", predicate.column,
+                 table.name.c_str()));
+    }
+    if (schema.PredicateColumnIndex(predicate.table, predicate.column) < 0) {
+      return Status::InvalidArgument(
+          Format("predicate on key column %s",
+                 schema.QualifiedColumnName(predicate.table, predicate.column)
+                     .c_str()));
+    }
+  }
+  return Status::OK();
 }
 
 std::string Query::CanonicalKey() const { return Serialize(); }
@@ -107,15 +163,33 @@ std::string Query::Serialize() const {
 
 namespace {
 
+// Strict int32 parse: the whole piece must be a decimal integer within
+// [min_value, INT32_MAX]. Unlike atoi/atol, rejects empty fields, trailing
+// garbage ("1x"), and out-of-range values instead of truncating silently —
+// the serving path feeds untrusted text through here.
+Status ParseInt32(const std::string& piece, int32_t min_value, int32_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(piece.c_str(), &end, 10);
+  if (piece.empty() || end != piece.c_str() + piece.size()) {
+    return Status::Corruption("bad integer in query: '" + piece + "'");
+  }
+  if (errno == ERANGE || value < min_value ||
+      value > std::numeric_limits<int32_t>::max()) {
+    return Status::Corruption("integer out of range in query: '" + piece +
+                              "'");
+  }
+  *out = static_cast<int32_t>(value);
+  return Status::OK();
+}
+
+// Comma-separated non-negative ids (table ids, join-edge indices).
 Status ParseIntList(std::string_view text, std::vector<int>* out) {
   if (text.empty()) return Status::OK();
   for (const std::string& piece : Split(text, ',')) {
-    char* end = nullptr;
-    const long value = std::strtol(piece.c_str(), &end, 10);
-    if (end == piece.c_str() || *end != '\0') {
-      return Status::Corruption("bad integer in query: " + piece);
-    }
-    out->push_back(static_cast<int>(value));
+    int32_t value = 0;
+    LC_RETURN_IF_ERROR(ParseInt32(piece, /*min_value=*/0, &value));
+    out->push_back(value);
   }
   return Status::OK();
 }
@@ -124,10 +198,21 @@ Status ParsePredicate(const std::string& text, Predicate* out) {
   // Form: "<table>.<column><op><literal>" with op one of = < >.
   const size_t dot = text.find('.');
   if (dot == std::string::npos) return Status::Corruption("missing '.'");
-  size_t op_pos = text.find_first_of("=<>", dot);
+  const size_t op_pos = text.find_first_of("=<>", dot);
   if (op_pos == std::string::npos) return Status::Corruption("missing op");
-  out->table = static_cast<TableId>(std::atoi(text.substr(0, dot).c_str()));
-  out->column = std::atoi(text.substr(dot + 1, op_pos - dot - 1).c_str());
+  int32_t table = 0;
+  int32_t column = 0;
+  int32_t literal = 0;
+  LC_RETURN_IF_ERROR(
+      ParseInt32(text.substr(0, dot), /*min_value=*/0, &table));
+  LC_RETURN_IF_ERROR(ParseInt32(text.substr(dot + 1, op_pos - dot - 1),
+                                /*min_value=*/0, &column));
+  LC_RETURN_IF_ERROR(
+      ParseInt32(text.substr(op_pos + 1),
+                 std::numeric_limits<int32_t>::min(), &literal));
+  out->table = table;
+  out->column = column;
+  out->literal = literal;
   switch (text[op_pos]) {
     case '=':
       out->op = CompareOp::kEq;
@@ -141,8 +226,6 @@ Status ParsePredicate(const std::string& text, Predicate* out) {
     default:
       return Status::Corruption("bad op");
   }
-  out->literal =
-      static_cast<int32_t>(std::atol(text.substr(op_pos + 1).c_str()));
   return Status::OK();
 }
 
@@ -169,6 +252,9 @@ StatusOr<Query> Query::Deserialize(std::string_view text) {
       LC_RETURN_IF_ERROR(ParsePredicate(piece, &predicate));
       query.predicates.push_back(predicate);
     }
+  }
+  if (query.tables.empty()) {
+    return Status::Corruption("empty query: no tables");
   }
   query.Canonicalize();
   return query;

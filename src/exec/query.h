@@ -56,8 +56,18 @@ struct Query {
   std::vector<Predicate> PredicatesFor(TableId table) const;
 
   /// Sorts tables/joins/predicates into the canonical order used for
-  /// equality and hashing.
+  /// equality and hashing, and drops exact duplicates (a conjunction is a
+  /// set: `p AND p` is `p`, so duplicated predicates must not change the
+  /// canonical key or the featurization).
   void Canonicalize();
+
+  /// Semantic validation against a schema, for queries built from untrusted
+  /// text (the serving path): every table/join/predicate must reference
+  /// existing schema objects, joins and predicates must only touch tables
+  /// the query lists, and predicate columns must be non-key columns. The
+  /// featurizer and executor LC_CHECK these invariants; serving code must
+  /// reject bad input with this Status instead of crashing.
+  Status Validate(const Schema& schema) const;
 
   /// Stable text key identifying the query up to set semantics; used for
   /// de-duplication in the generator.

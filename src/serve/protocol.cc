@@ -1,0 +1,60 @@
+#include "serve/protocol.h"
+
+#include "util/str.h"
+
+namespace lc {
+namespace serve {
+
+namespace {
+
+bool IsControlChar(char c) {
+  const unsigned char byte = static_cast<unsigned char>(c);
+  return byte < 0x20 || byte == 0x7f;
+}
+
+// Status messages can echo request bytes (strict parse errors quote the
+// offending piece); scrubbing control characters here keeps a hostile
+// request from smuggling line breaks into the one-line response framing.
+std::string SanitizeForLine(std::string_view text) {
+  std::string sanitized(text);
+  for (char& c : sanitized) {
+    if (IsControlChar(c)) c = ' ';
+  }
+  return sanitized;
+}
+
+}  // namespace
+
+StatusOr<std::string> ParseRequestLine(std::string_view line,
+                                       size_t max_bytes) {
+  if (line.size() > max_bytes) {
+    return Status::InvalidArgument(
+        Format("request line of %zu bytes exceeds the %zu byte limit",
+               line.size(), max_bytes));
+  }
+  std::string text = Trim(line);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  // Interior control characters (Trim only strips the edges) are never
+  // part of a valid query text; reject without echoing the raw bytes.
+  for (char c : text) {
+    if (IsControlChar(c)) {
+      return Status::InvalidArgument(
+          "request line contains control characters");
+    }
+  }
+  return text;
+}
+
+std::string FormatResponse(const Response& response) {
+  if (!response.status.ok()) {
+    return Format("ERR %s %s", StatusCodeName(response.status.code()),
+                  SanitizeForLine(response.status.message()).c_str());
+  }
+  return Format("EST %.17g us=%.1f cache=%s", response.estimate,
+                response.latency_us, response.cache_hit ? "hit" : "miss");
+}
+
+}  // namespace serve
+}  // namespace lc

@@ -1,0 +1,50 @@
+// Line protocol of the estimator server: one request per line, one response
+// line per request. A request line is the compact query text of
+// Query::Serialize ("T:0,1|J:0|P:0.1>2005"); the response reports the
+// estimate, the request latency, and whether the result cache served it:
+//
+//   -> T:0,2|J:1|P:0.3>1990
+//   <- EST 1.234560e+04 us=87.3 cache=miss
+//   -> T:9999|J:|P:
+//   <- ERR InvalidArgument table id 9999 out of range [0, 6)
+//
+// Malformed input never crashes the server: every rejection is a typed
+// Status rendered as an ERR line (see exec/query.cc for the strict parser
+// and Query::Validate for the schema checks).
+
+#ifndef LC_SERVE_PROTOCOL_H_
+#define LC_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace lc {
+namespace serve {
+
+/// The outcome of one request, whether it was served from the cache, a
+/// batched forward pass, or rejected before reaching the model.
+struct Response {
+  Status status;           // Non-OK: no estimate was produced.
+  double estimate = 0.0;   // Denormalized cardinality estimate.
+  bool cache_hit = false;  // Served from the estimator result cache.
+  double latency_us = 0.0; // Admission to completion (steady clock).
+};
+
+/// Extracts the query text from one request line: trims ASCII whitespace,
+/// rejects empty lines and lines beyond `max_bytes` (a length bound keeps
+/// one hostile client from forcing unbounded allocation downstream).
+StatusOr<std::string> ParseRequestLine(std::string_view line,
+                                       size_t max_bytes = 1 << 16);
+
+/// Renders a response line: "EST <estimate> us=<latency> cache=<hit|miss>"
+/// on success, "ERR <CodeName> <message>" otherwise. Estimates print with
+/// %.17g so the line round-trips the double exactly (the bit-match
+/// guarantee of the serving path is observable through the protocol).
+std::string FormatResponse(const Response& response);
+
+}  // namespace serve
+}  // namespace lc
+
+#endif  // LC_SERVE_PROTOCOL_H_

@@ -1,0 +1,263 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/env.h"
+
+namespace lc {
+namespace serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MicrosSince(SteadyClock::time_point start, SteadyClock::time_point now) {
+  return std::chrono::duration<double, std::micro>(now - start).count();
+}
+
+}  // namespace
+
+ServerConfig ServerConfig::FromEnv() {
+  ServerConfig config;
+  config.lanes = static_cast<int>(
+      std::max<int64_t>(0, GetEnvInt("LC_SERVE_LANES", config.lanes)));
+  config.queue_capacity = static_cast<size_t>(std::max<int64_t>(
+      1, GetEnvInt("LC_SERVE_QUEUE",
+                   static_cast<int64_t>(config.queue_capacity))));
+  config.max_batch = static_cast<size_t>(std::max<int64_t>(
+      1, GetEnvInt("LC_SERVE_BATCH", static_cast<int64_t>(config.max_batch))));
+  config.window_us =
+      std::max<int64_t>(0, GetEnvInt("LC_SERVE_WINDOW_US", config.window_us));
+  return config;
+}
+
+EstimatorServer::EstimatorServer(MscnEstimator* estimator,
+                                 const Schema* schema,
+                                 const SampleSet* samples,
+                                 ServerConfig config)
+    : estimator_(estimator),
+      schema_(schema),
+      samples_(samples),
+      config_(config),
+      queue_(config.queue_capacity) {
+  LC_CHECK(estimator != nullptr);
+  LC_CHECK(schema != nullptr);
+  LC_CHECK(samples != nullptr);
+  LC_CHECK_GE(config.lanes, 0);
+  LC_CHECK_GT(config.max_batch, 0u);
+  LC_CHECK_GE(config.window_us, 0);
+  LC_CHECK(samples->sample_size() ==
+           estimator->featurizer()->dims().sample_bits)
+      << "sample set and featurizer disagree on the bitmap length; serving "
+         "would annotate requests differently from the training workload";
+  lane_stats_.reserve(static_cast<size_t>(config.lanes));
+  lanes_.reserve(static_cast<size_t>(config.lanes));
+  for (int lane = 0; lane < config.lanes; ++lane) {
+    lane_stats_.push_back(std::make_unique<LaneStats>());
+    // Dedicated threads, not pool tasks: lanes block on the queue for their
+    // whole lifetime and must never starve ParallelFor work of its workers.
+    lanes_.emplace_back(
+        [this, stats = lane_stats_.back().get()] { LaneLoop(stats); });
+  }
+}
+
+EstimatorServer::~EstimatorServer() { Shutdown(); }
+
+std::future<Response> EstimatorServer::SubmitAsync(
+    std::string_view query_text) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  const SteadyClock::time_point admitted = SteadyClock::now();
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+
+  const auto reject = [&](Status status, std::atomic<uint64_t>* counter) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.status = std::move(status);
+    response.latency_us = MicrosSince(admitted, SteadyClock::now());
+    promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    return reject(Status::Unavailable("server is shutting down"),
+                  &rejected_shutdown_);
+  }
+
+  StatusOr<Query> parsed = Query::Deserialize(query_text);
+  if (!parsed.ok()) return reject(parsed.status(), &rejected_malformed_);
+  const Query query = std::move(parsed).value();
+  Status valid = query.Validate(*schema_);
+  if (!valid.ok()) return reject(std::move(valid), &rejected_malformed_);
+
+  // Fast path: an exact-match fresh cache entry skips annotation, the
+  // queue, and the batching window entirely.
+  double cached = 0.0;
+  if (estimator_->ProbeCache(query.CanonicalKey(), &cached)) {
+    admission_hits_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.estimate = cached;
+    response.cache_hit = true;
+    response.latency_us = MicrosSince(admitted, SteadyClock::now());
+    promise.set_value(std::move(response));
+    return future;
+  }
+
+  // Cheap pre-annotation shed: under sustained overload the queue stays
+  // full, and annotating a request that TryPush will reject would make
+  // rejections cost as much CPU as service. The check races with the
+  // lanes (a momentarily-full queue may drain before TryPush), so it only
+  // sheds — TryPush below stays the authoritative admission decision.
+  if (queue_.size() >= config_.queue_capacity) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.status = Status::Unavailable(
+        "admission queue full: server overloaded, retry later");
+    response.latency_us = MicrosSince(admitted, SteadyClock::now());
+    promise.set_value(std::move(response));
+    return future;
+  }
+
+  auto pending = std::make_unique<Pending>();
+  // The runtime-sampling step of the paper's inference pipeline: annotate
+  // the query with qualifying-sample counts/bitmaps (section 3.4) on the
+  // submitting thread, keeping lanes free for forward passes.
+  pending->labeled = LabelQuery(query, /*executor=*/nullptr, *samples_);
+  pending->admitted = admitted;
+  pending->promise = std::move(promise);
+
+  switch (queue_.TryPush(&pending)) {
+    case QueuePush::kAccepted:
+      return future;
+    case QueuePush::kFull: {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.status = Status::Unavailable(
+          "admission queue full: server overloaded, retry later");
+      response.latency_us = MicrosSince(admitted, SteadyClock::now());
+      pending->promise.set_value(std::move(response));
+      return future;
+    }
+    case QueuePush::kClosed: {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.status = Status::Unavailable("server is shutting down");
+      response.latency_us = MicrosSince(admitted, SteadyClock::now());
+      pending->promise.set_value(std::move(response));
+      return future;
+    }
+  }
+  LC_CHECK(false) << "unreachable";
+  return future;
+}
+
+Response EstimatorServer::Submit(std::string_view query_text) {
+  return SubmitAsync(query_text).get();
+}
+
+std::string EstimatorServer::HandleLine(std::string_view line) {
+  StatusOr<std::string> text = ParseRequestLine(line);
+  if (!text.ok()) {
+    received_.fetch_add(1, std::memory_order_relaxed);
+    rejected_malformed_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.status = text.status();
+    return FormatResponse(response);
+  }
+  return FormatResponse(Submit(*text));
+}
+
+void EstimatorServer::LaneLoop(LaneStats* stats) {
+  Tape tape;  // Lane-owned workspace: steady-state batches allocate nothing.
+  std::unique_ptr<Pending> first;
+  while (queue_.Pop(&first)) {
+    // Batching window: the first request opens the window; the lane then
+    // coalesces whatever arrives before the deadline, up to max_batch, so
+    // bursts ride the batched SIMD path instead of one forward pass each.
+    std::vector<std::unique_ptr<Pending>> batch;
+    batch.reserve(config_.max_batch);
+    batch.push_back(std::move(first));
+    const SteadyClock::time_point deadline =
+        SteadyClock::now() + std::chrono::microseconds(config_.window_us);
+    while (batch.size() < config_.max_batch) {
+      std::unique_ptr<Pending> next;
+      if (!queue_.PopUntil(&next, deadline)) break;
+      batch.push_back(std::move(next));
+    }
+
+    const SteadyClock::time_point popped = SteadyClock::now();
+    std::vector<const LabeledQuery*> queries;
+    queries.reserve(batch.size());
+    for (const auto& pending : batch) queries.push_back(&pending->labeled);
+    std::vector<double> estimates;
+    std::vector<uint8_t> cache_hits;
+    estimator_->EstimateBatch(queries, &tape, &estimates, &cache_hits);
+    const SteadyClock::time_point done = SteadyClock::now();
+
+    {
+      std::lock_guard<std::mutex> lock(stats->mu);
+      stats->model_batches += 1;
+      stats->batch_size.Add(static_cast<double>(batch.size()));
+      for (const auto& pending : batch) {
+        stats->served += 1;
+        stats->queue_wait_us.Add(MicrosSince(pending->admitted, popped));
+        stats->service_latency_us.Add(MicrosSince(pending->admitted, done));
+      }
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Response response;
+      response.estimate = estimates[i];
+      response.cache_hit = cache_hits[i] != 0;
+      response.latency_us = MicrosSince(batch[i]->admitted, done);
+      batch[i]->promise.set_value(std::move(response));
+    }
+  }
+}
+
+void EstimatorServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Stop admission; lanes keep popping until the queue reports closed AND
+  // drained, so every accepted request is served before the join returns.
+  queue_.Close();
+  for (std::thread& lane : lanes_) {
+    if (lane.joinable()) lane.join();
+  }
+  // With lanes == 0 (tests) nothing drained the queue: resolve the
+  // leftovers with a typed rejection so no future is silently abandoned.
+  std::unique_ptr<Pending> leftover;
+  while (queue_.TryPop(&leftover)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.status =
+        Status::Unavailable("server shut down before the request was served");
+    response.latency_us =
+        MicrosSince(leftover->admitted, SteadyClock::now());
+    leftover->promise.set_value(std::move(response));
+  }
+}
+
+Stats EstimatorServer::GetStats() const {
+  Stats stats;
+  stats.received = received_.load(std::memory_order_relaxed);
+  stats.rejected_malformed = rejected_malformed_.load(std::memory_order_relaxed);
+  stats.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  stats.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  stats.admission_cache_hits =
+      admission_hits_.load(std::memory_order_relaxed);
+  stats.served = stats.admission_cache_hits;
+  for (const auto& lane : lane_stats_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    stats.served += lane->served;
+    stats.model_batches += lane->model_batches;
+    stats.batch_size.Merge(lane->batch_size);
+    stats.queue_wait_us.Merge(lane->queue_wait_us);
+    stats.service_latency_us.Merge(lane->service_latency_us);
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace lc

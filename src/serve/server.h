@@ -1,0 +1,169 @@
+// The serving front-end of the ROADMAP north star: a long-lived
+// EstimatorServer that owns the request path from untrusted query text to a
+// cardinality estimate, built so the batched SIMD inference path — not the
+// single-query one — is what traffic exercises.
+//
+// Request lifecycle (see docs/ARCHITECTURE.md, "Serving"):
+//
+//   Submit(text)
+//     parse (strict)  → Query::Deserialize             ERR InvalidArgument/
+//     validate        → Query::Validate(schema)            Corruption
+//     cache probe     → MscnEstimator::ProbeCache      hit: reply in ~1µs
+//     annotate        → LabelQuery (sample bitmaps)
+//     admit           → BoundedQueue::TryPush          full: ERR Unavailable
+//   lane (worker thread)
+//     drain           → Pop + PopUntil(batching window), ≤ max_batch items
+//     score           → MscnEstimator::EstimateBatch (one forward pass)
+//     reply           → fulfill each request's future
+//
+// Determinism: batching never changes results. EstimateBatch scores misses
+// with padding-masked batches whose per-query forward pass is independent
+// of batch composition, so server estimates are bit-identical to a direct
+// MscnEstimator::EstimateAll over the same queries regardless of how the
+// window happened to coalesce them (asserted by tests/serve_test.cc and
+// bench/serve_load.cc).
+//
+// Backpressure: admission is a bounded queue. A full queue rejects with a
+// typed Unavailable status immediately instead of blocking the caller —
+// under overload the server sheds load with bounded latency rather than
+// growing an unbounded backlog.
+//
+// Shutdown: Close() on the queue stops admission; lanes drain every
+// already-accepted request before exiting, so a request either gets its
+// estimate or a typed rejection — never a silently dropped future.
+
+#ifndef LC_SERVE_SERVER_H_
+#define LC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/mscn_estimator.h"
+#include "db/schema.h"
+#include "sample/sample.h"
+#include "serve/protocol.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+#include "workload/workload.h"
+
+namespace lc {
+namespace serve {
+
+/// Server tuning. Defaults come from the LC_SERVE_* environment knobs.
+struct ServerConfig {
+  /// Worker lanes draining the admission queue (LC_SERVE_LANES, default 2).
+  /// 0 is allowed for tests: requests queue but nothing drains them until
+  /// Shutdown fails them.
+  int lanes = 2;
+  /// Admission queue capacity (LC_SERVE_QUEUE, default 256). Beyond this,
+  /// Submit rejects with Unavailable (backpressure).
+  size_t queue_capacity = 256;
+  /// Most queries one forward pass scores (LC_SERVE_BATCH, default 32).
+  size_t max_batch = 32;
+  /// How long a lane waits for more requests to coalesce after popping the
+  /// first one (LC_SERVE_WINDOW_US, default 200; 0 = greedy, batch only
+  /// what is already queued).
+  int64_t window_us = 200;
+
+  static ServerConfig FromEnv();
+};
+
+/// Monotonic server counters plus merged per-lane latency accounting; a
+/// consistent-enough snapshot for reporting (counters are relaxed atomics,
+/// lane stats are merged under their locks).
+struct Stats {
+  uint64_t received = 0;            // Submit/HandleLine calls.
+  uint64_t rejected_malformed = 0;  // Parse or validation failures.
+  uint64_t rejected_overload = 0;   // Queue full.
+  uint64_t rejected_shutdown = 0;   // Admission after Shutdown.
+  uint64_t served = 0;              // OK responses.
+  uint64_t admission_cache_hits = 0;  // Served at admission, never queued.
+  uint64_t model_batches = 0;       // EstimateBatch calls across lanes.
+  RunningStat batch_size;           // Requests per model batch.
+  RunningStat queue_wait_us;        // Admission → lane pop.
+  RunningStat service_latency_us;   // Admission → reply (lane-served only).
+};
+
+class EstimatorServer {
+ public:
+  /// Borrows everything: the estimator, schema and samples must outlive
+  /// the server. `samples` must be the sample set the estimator's
+  /// featurizer was configured for (checked), since request annotation
+  /// recomputes the paper's section-3.4 bitmaps at serve time.
+  EstimatorServer(MscnEstimator* estimator, const Schema* schema,
+                  const SampleSet* samples,
+                  ServerConfig config = ServerConfig::FromEnv());
+  ~EstimatorServer();
+
+  EstimatorServer(const EstimatorServer&) = delete;
+  EstimatorServer& operator=(const EstimatorServer&) = delete;
+
+  /// Parses, validates, annotates and admits one query text; blocks until
+  /// the response is ready (closed-loop client). Rejections resolve
+  /// immediately with a typed non-OK status.
+  Response Submit(std::string_view query_text);
+
+  /// Like Submit but returns the future instead of waiting on it, so one
+  /// client thread can keep many requests in flight (the load generator's
+  /// open-loop mode and the shutdown/backpressure tests).
+  std::future<Response> SubmitAsync(std::string_view query_text);
+
+  /// Full line protocol: request line in, response line out.
+  std::string HandleLine(std::string_view line);
+
+  /// Stops admission, drains every accepted request through the lanes,
+  /// joins them. Idempotent; also run by the destructor. After Shutdown,
+  /// Submit rejects with Unavailable.
+  void Shutdown();
+  bool stopped() const { return stopping_.load(std::memory_order_acquire); }
+
+  Stats GetStats() const;
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    LabeledQuery labeled;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+  struct LaneStats {
+    mutable std::mutex mu;
+    uint64_t served = 0;
+    uint64_t model_batches = 0;
+    RunningStat batch_size;
+    RunningStat queue_wait_us;
+    RunningStat service_latency_us;
+  };
+
+  void LaneLoop(LaneStats* stats);
+
+  MscnEstimator* estimator_;
+  const Schema* schema_;
+  const SampleSet* samples_;
+  ServerConfig config_;
+  BoundedQueue<std::unique_ptr<Pending>> queue_;
+  std::vector<std::unique_ptr<LaneStats>> lane_stats_;
+  std::vector<std::thread> lanes_;
+
+  std::mutex shutdown_mu_;  // Serializes Shutdown with itself.
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> rejected_malformed_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> rejected_shutdown_{0};
+  std::atomic<uint64_t> admission_hits_{0};
+};
+
+}  // namespace serve
+}  // namespace lc
+
+#endif  // LC_SERVE_SERVER_H_

@@ -71,6 +71,36 @@ class ShardedLruCache {
     return true;
   }
 
+  /// Lookup that serves an entry only while `valid(entry)` holds: an entry
+  /// failing the predicate is erased under the same shard lock (it could
+  /// never be served again, so keeping it would pin capacity) and the
+  /// lookup counts as a miss plus an eviction. Used by the estimator cache
+  /// to retire estimates of a superseded model weight revision atomically
+  /// with the lookup that discovers them. `count_miss=false` makes the
+  /// lookup a peek: hits (and stale evictions) still count, but an absent
+  /// or stale key does not inflate the miss counter — for probe-then-
+  /// compute callers whose compute path re-runs the counting lookup.
+  template <typename Pred>
+  bool LookupValid(const K& key, V* value, Pred&& valid,
+                   bool count_miss = true) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      if (valid(static_cast<const V&>(it->second->second))) {
+        shard.order.splice(shard.order.begin(), shard.order, it->second);
+        *value = it->second->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      shard.order.erase(it->second);
+      shard.index.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
   /// Inserts or refreshes `key`, evicting the shard's least-recent entry
   /// when at capacity. Takes the key by value so callers can move
   /// expensive keys (e.g. canonical query strings) into the entry.

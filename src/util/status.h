@@ -24,6 +24,7 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kUnavailable,  // Transient refusal: overload, shutdown in progress.
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -104,6 +104,82 @@ TEST(QueryTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Query::Deserialize("T:x|J:|P:").ok());
 }
 
+TEST(QueryTest, DeserializeRejectsMalformedStrictly) {
+  // The serving path feeds untrusted text through Deserialize; every one of
+  // these used to be silently mis-parsed by atoi/atol or accepted outright.
+  EXPECT_FALSE(Query::Deserialize("").ok());
+  EXPECT_FALSE(Query::Deserialize("T:|J:|P:").ok());       // No tables.
+  EXPECT_FALSE(Query::Deserialize("T:1x|J:|P:").ok());     // Trailing junk.
+  EXPECT_FALSE(Query::Deserialize("T:-1|J:|P:").ok());     // Negative id.
+  EXPECT_FALSE(Query::Deserialize("T:0|J:-2|P:").ok());
+  EXPECT_FALSE(Query::Deserialize("T:0|J:|P:0.1=").ok());  // Empty literal.
+  EXPECT_FALSE(Query::Deserialize("T:0|J:|P:0.=5").ok());  // Empty column.
+  EXPECT_FALSE(Query::Deserialize("T:0|J:|P:.1=5").ok());  // Empty table.
+  EXPECT_FALSE(Query::Deserialize("T:0|J:|P:0.1a=5").ok());
+  EXPECT_FALSE(Query::Deserialize("T:0|J:|P:0.1=5x").ok());
+  // Out-of-int32-range values must be rejected, not truncated.
+  EXPECT_FALSE(Query::Deserialize("T:99999999999|J:|P:").ok());
+  EXPECT_FALSE(Query::Deserialize("T:0|J:|P:0.1=99999999999999").ok());
+  // Still-valid inputs keep parsing.
+  EXPECT_TRUE(Query::Deserialize("T:0|J:|P:0.1=-5").ok());
+  EXPECT_TRUE(Query::Deserialize("T:0,1|J:0|P:1.2>2005").ok());
+}
+
+TEST(QueryTest, DuplicatePredicatesCanonicalizeToOne) {
+  // `p AND p` is `p`: duplicated conjuncts must not produce a different
+  // canonical key (cache/dedup identity) or a larger predicate set.
+  const auto duplicated = Query::Deserialize("T:0|J:|P:0.1=5,0.1=5");
+  ASSERT_TRUE(duplicated.ok());
+  EXPECT_EQ(duplicated->predicates.size(), 1u);
+  const auto single = Query::Deserialize("T:0|J:|P:0.1=5");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(duplicated->CanonicalKey(), single->CanonicalKey());
+  EXPECT_EQ(*duplicated, *single);
+}
+
+TEST(QueryTest, ValidateChecksSchemaReferences) {
+  const Database db = TinyDatabase();
+  const Schema& schema = db.schema();
+
+  Query ok;
+  ok.tables = {0, 1};
+  ok.joins = {0};
+  ok.predicates = {{0, 1, CompareOp::kGt, 15}, {1, 2, CompareOp::kEq, 1}};
+  ok.Canonicalize();
+  EXPECT_TRUE(ok.Validate(schema).ok());
+
+  Query no_tables;
+  EXPECT_EQ(no_tables.Validate(schema).code(),
+            StatusCode::kInvalidArgument);
+
+  Query bad_table = ok;
+  bad_table.tables = {0, 7};
+  EXPECT_FALSE(bad_table.Validate(schema).ok());
+
+  Query bad_join = ok;
+  bad_join.joins = {3};
+  EXPECT_FALSE(bad_join.Validate(schema).ok());
+
+  Query join_without_table = ok;
+  join_without_table.tables = {0};  // Edge 0 also needs table 1.
+  join_without_table.predicates.clear();
+  EXPECT_FALSE(join_without_table.Validate(schema).ok());
+
+  Query predicate_unlisted_table = ok;
+  predicate_unlisted_table.tables = {0};
+  predicate_unlisted_table.joins.clear();
+  predicate_unlisted_table.predicates = {{1, 2, CompareOp::kEq, 1}};
+  EXPECT_FALSE(predicate_unlisted_table.Validate(schema).ok());
+
+  Query bad_column = ok;
+  bad_column.predicates = {{0, 5, CompareOp::kEq, 1}};
+  EXPECT_FALSE(bad_column.Validate(schema).ok());
+
+  Query key_column = ok;
+  key_column.predicates = {{0, 0, CompareOp::kEq, 1}};  // a.id is a key.
+  EXPECT_FALSE(key_column.Validate(schema).ok());
+}
+
 TEST(QueryTest, ToSqlRendersJoinsAndPredicates) {
   const Database db = TinyDatabase();
   Query query;

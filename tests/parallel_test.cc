@@ -4,6 +4,7 @@
 // produce bit-identical results for every worker count.
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
@@ -197,6 +198,122 @@ TEST(BoundedQueueTest, CloseUnblocksWaitingConsumer) {
   });
   queue.Close();
   consumer.join();
+}
+
+// Regression pin for the serving drain pattern (multi-producer,
+// multi-consumer, Close racing with both sides): every Push/TryPush that
+// reported acceptance must be observed by exactly one Pop — Close stops
+// admission but never drops queued items.
+TEST(BoundedQueueTest, CloseNeverDropsAcceptedItemsUnderMpmcRace) {
+  BoundedQueue<int> queue(8);
+  std::atomic<uint64_t> accepted_count{0};
+  std::atomic<uint64_t> accepted_sum{0};
+
+  std::vector<std::thread> producers;
+  for (int producer = 0; producer < 4; ++producer) {
+    producers.emplace_back([&, producer] {
+      for (int i = 0; i < 500; ++i) {
+        const int value = producer * 1000 + i;
+        if (!queue.Push(value)) return;  // Close landed mid-stream.
+        accepted_count.fetch_add(1);
+        accepted_sum.fetch_add(static_cast<uint64_t>(value));
+      }
+    });
+  }
+
+  std::atomic<uint64_t> popped_count{0};
+  std::atomic<uint64_t> popped_sum{0};
+  std::vector<std::thread> consumers;
+  for (int consumer = 0; consumer < 3; ++consumer) {
+    consumers.emplace_back([&] {
+      int value = 0;
+      while (queue.Pop(&value)) {
+        popped_count.fetch_add(1);
+        popped_sum.fetch_add(static_cast<uint64_t>(value));
+      }
+    });
+  }
+
+  // Close while producers are mid-stream and consumers are mid-drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.Close();
+  for (std::thread& producer : producers) producer.join();
+  for (std::thread& consumer : consumers) consumer.join();
+
+  EXPECT_EQ(popped_count.load(), accepted_count.load());
+  EXPECT_EQ(popped_sum.load(), accepted_sum.load());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducers) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));  // Queue now full.
+  std::vector<std::thread> producers;
+  for (int producer = 0; producer < 3; ++producer) {
+    producers.emplace_back([&] {
+      EXPECT_FALSE(queue.Push(2));  // Blocks on full until Close.
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.Close();
+  for (std::thread& producer : producers) producer.join();
+  // The item accepted before Close still drains.
+  int value = 0;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+  EXPECT_FALSE(queue.Pop(&value));
+}
+
+TEST(BoundedQueueTest, TryPushReportsFullAndClosedWithoutConsuming) {
+  BoundedQueue<int> queue(2);
+  int value = 7;
+  EXPECT_EQ(queue.TryPush(&value), QueuePush::kAccepted);
+  value = 8;
+  EXPECT_EQ(queue.TryPush(&value), QueuePush::kAccepted);
+  value = 9;
+  EXPECT_EQ(queue.TryPush(&value), QueuePush::kFull);
+  EXPECT_EQ(value, 9);  // Rejections leave the caller's value intact.
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(&value), QueuePush::kClosed);
+  EXPECT_EQ(value, 9);
+  // Items accepted before Close drain through TryPop.
+  int out = 0;
+  EXPECT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(BoundedQueueTest, PopUntilTimesOutDrainsAndObservesClose) {
+  BoundedQueue<int> queue(4);
+  int value = 0;
+  // Empty queue: an already-passed deadline degrades to TryPop.
+  EXPECT_FALSE(queue.PopUntil(&value, std::chrono::steady_clock::now()));
+  ASSERT_TRUE(queue.Push(42));
+  EXPECT_TRUE(queue.PopUntil(&value, std::chrono::steady_clock::now()));
+  EXPECT_EQ(value, 42);
+  // A waiting PopUntil wakes as soon as an item arrives.
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    queue.Push(43);
+  });
+  EXPECT_TRUE(queue.PopUntil(
+      &value, std::chrono::steady_clock::now() + std::chrono::seconds(10)));
+  EXPECT_EQ(value, 43);
+  producer.join();
+  // Close wakes a waiting PopUntil before its deadline; queued items drain.
+  ASSERT_TRUE(queue.Push(44));
+  queue.Close();
+  EXPECT_TRUE(queue.PopUntil(
+      &value, std::chrono::steady_clock::now() + std::chrono::seconds(10)));
+  EXPECT_EQ(value, 44);
+  std::thread waiter([&] {
+    int out = 0;
+    EXPECT_FALSE(queue.PopUntil(
+        &out, std::chrono::steady_clock::now() + std::chrono::seconds(10)));
+  });
+  waiter.join();
 }
 
 TEST(ShardedLruCacheTest, HitMissAndEviction) {

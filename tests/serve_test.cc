@@ -1,0 +1,363 @@
+// Tests for the serving front-end (serve::EstimatorServer) and for the
+// race-free cache invalidation protocol under it:
+//  - batching-window coalescing: a burst of N requests rides ONE forward
+//    pass, not N;
+//  - backpressure: a full admission queue rejects with a typed Unavailable
+//    status instead of blocking forever;
+//  - graceful shutdown: every accepted request is served before the lanes
+//    exit, and later submissions get a typed rejection;
+//  - determinism: server estimates bit-match a direct EstimateAll over the
+//    same queries;
+//  - protocol: malformed input produces ERR lines, never a crash;
+//  - invalidation: ContinueTraining racing with concurrent lookups never
+//    serves a pre-retrain estimate as fresh (run under TSan in CI).
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mscn_estimator.h"
+#include "core/trainer.h"
+#include "imdb/imdb.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/str.h"
+#include "workload/generator.h"
+
+namespace lc {
+namespace {
+
+ImdbConfig SmallImdb() {
+  ImdbConfig config;
+  config.seed = 91;
+  config.num_titles = 1500;
+  config.num_companies = 250;
+  config.num_persons = 1000;
+  config.num_keywords = 300;
+  return config;
+}
+
+// One trained model + workload shared by every test: training dominates
+// the suite's runtime, so pay it once.
+class ServeTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(GenerateImdb(SmallImdb()));
+    executor_ = new Executor(db_);
+    samples_ = new SampleSet(db_, 32, 5);
+
+    GeneratorConfig gen_config;
+    gen_config.seed = 17;
+    QueryGenerator generator(db_, gen_config);
+    workload_ = new Workload(
+        generator.GenerateLabeled(*executor_, *samples_, 200, "serve-test"));
+
+    MscnConfig config;
+    config.hidden_units = 16;
+    config.epochs = 3;
+    config.batch_size = 32;
+    config.seed = 7;
+    featurizer_ = new Featurizer(db_, config.variant, samples_->sample_size());
+    Trainer trainer(featurizer_, config);
+    std::vector<const LabeledQuery*> pointers;
+    for (const LabeledQuery& query : workload_->queries) {
+      pointers.push_back(&query);
+    }
+    model_ = new MscnModel(trainer.Train(pointers, {}, nullptr));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete featurizer_;
+    delete workload_;
+    delete samples_;
+    delete executor_;
+    delete db_;
+    model_ = nullptr;
+    featurizer_ = nullptr;
+    workload_ = nullptr;
+    samples_ = nullptr;
+    executor_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static std::vector<const LabeledQuery*> QueryPointers(size_t count) {
+    std::vector<const LabeledQuery*> pointers;
+    for (size_t i = 0; i < count && i < workload_->queries.size(); ++i) {
+      pointers.push_back(&workload_->queries[i]);
+    }
+    return pointers;
+  }
+
+  static Database* db_;
+  static Executor* executor_;
+  static SampleSet* samples_;
+  static Workload* workload_;
+  static Featurizer* featurizer_;
+  static MscnModel* model_;
+};
+
+Database* ServeTest::db_ = nullptr;
+Executor* ServeTest::executor_ = nullptr;
+SampleSet* ServeTest::samples_ = nullptr;
+Workload* ServeTest::workload_ = nullptr;
+Featurizer* ServeTest::featurizer_ = nullptr;
+MscnModel* ServeTest::model_ = nullptr;
+
+TEST_F(ServeTest, BatchingWindowCoalescesBurstIntoOneForwardPass) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/0);
+  serve::ServerConfig config;
+  config.lanes = 1;
+  config.queue_capacity = 64;
+  config.max_batch = 32;
+  // Generous window: the lane pops the first request of the burst, then
+  // holds its forward pass long enough for the stragglers (thread startup
+  // on a loaded CI machine) to join the same batch.
+  config.window_us = 300000;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+
+  const size_t kBurst = 8;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(kBurst);
+  std::atomic<size_t> ready{0};
+  std::vector<serve::Response> responses(kBurst);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < kBurst; ++i) {
+    clients.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kBurst) std::this_thread::yield();
+      responses[i] = server.Submit(pointers[i]->query.Serialize());
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (size_t i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status;
+    EXPECT_FALSE(responses[i].cache_hit);
+    EXPECT_GT(responses[i].estimate, 0.0);
+  }
+  const serve::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.received, kBurst);
+  EXPECT_EQ(stats.served, kBurst);
+  EXPECT_EQ(stats.model_batches, 1u)
+      << "the burst should coalesce into one EstimateBatch call";
+  EXPECT_EQ(stats.batch_size.max(), static_cast<double>(kBurst));
+}
+
+TEST_F(ServeTest, BackpressureRejectsWithTypedErrorInsteadOfBlocking) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/0);
+  serve::ServerConfig config;
+  config.lanes = 0;  // Nothing drains: the queue fills deterministically.
+  config.queue_capacity = 4;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(5);
+  std::vector<std::future<serve::Response>> queued;
+  for (size_t i = 0; i < 4; ++i) {
+    queued.push_back(server.SubmitAsync(pointers[i]->query.Serialize()));
+  }
+  // The 5th must resolve immediately with a typed overload error.
+  std::future<serve::Response> rejected =
+      server.SubmitAsync(pointers[4]->query.Serialize());
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "a full queue must reject, not block";
+  const serve::Response overload = rejected.get();
+  EXPECT_EQ(overload.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(overload.status.message().find("overload"), std::string::npos);
+  EXPECT_EQ(server.GetStats().rejected_overload, 1u);
+
+  // Shutdown with no lanes fails the queued requests with a typed status
+  // instead of abandoning their futures.
+  server.Shutdown();
+  for (std::future<serve::Response>& future : queued) {
+    const serve::Response response = future.get();
+    EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(server.GetStats().rejected_shutdown, 4u);
+}
+
+TEST_F(ServeTest, GracefulShutdownDrainsAcceptedRequests) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/0);
+  serve::ServerConfig config;
+  config.lanes = 2;
+  config.queue_capacity = 64;
+  config.max_batch = 4;
+  config.window_us = 100;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+
+  const size_t kCount = 24;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(kCount);
+  std::vector<std::future<serve::Response>> futures;
+  for (size_t i = 0; i < kCount; ++i) {
+    futures.push_back(server.SubmitAsync(pointers[i]->query.Serialize()));
+  }
+  server.Shutdown();  // Races the lanes: accepted requests must still drain.
+
+  const std::vector<double> direct = estimator.EstimateAll(pointers, 8);
+  for (size_t i = 0; i < kCount; ++i) {
+    const serve::Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok())
+        << "request " << i << " was accepted but not served: "
+        << response.status;
+    EXPECT_EQ(response.estimate, direct[i]) << "request " << i;
+  }
+  EXPECT_EQ(server.GetStats().served, kCount);
+
+  // Post-shutdown submissions get a typed rejection.
+  const serve::Response late = server.Submit(pointers[0]->query.Serialize());
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServeTest, ServerEstimatesBitMatchDirectEstimateAll) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN",
+                          /*cache_capacity=*/256);
+  serve::ServerConfig config;
+  config.lanes = 2;
+  config.queue_capacity = 128;
+  config.max_batch = 16;
+  config.window_us = 50;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+
+  const size_t kCount = 60;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(kCount);
+  // EstimateAll bypasses the result cache, so its output is the pure
+  // forward-pass ground truth for the same weights.
+  const std::vector<double> direct = estimator.EstimateAll(pointers, 16);
+
+  for (size_t i = 0; i < kCount; ++i) {
+    const serve::Response response =
+        server.Submit(pointers[i]->query.Serialize());
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(response.estimate, direct[i])
+        << "server path diverged from EstimateAll at query " << i;
+  }
+  // A second round hits the cache (admission fast path) and must replay
+  // exactly the same bits.
+  for (size_t i = 0; i < kCount; ++i) {
+    const serve::Response response =
+        server.Submit(pointers[i]->query.Serialize());
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_TRUE(response.cache_hit) << "query " << i;
+    EXPECT_EQ(response.estimate, direct[i]) << "query " << i;
+  }
+  const serve::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.admission_cache_hits, kCount);
+  EXPECT_EQ(stats.served, 2 * kCount);
+  // Exactly one counted miss per cold request: the admission probe is a
+  // peek, only the lane's authoritative lookup counts.
+  const CacheCounters counters = estimator.cache_counters();
+  EXPECT_EQ(counters.misses, kCount);
+  EXPECT_EQ(counters.insertions, kCount);
+}
+
+TEST_F(ServeTest, ProtocolRejectsMalformedInputWithErrLines) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/0);
+  serve::ServerConfig config;
+  config.lanes = 1;
+  config.window_us = 0;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+
+  // Structural garbage, strict-parse failures, and schema violations all
+  // come back as ERR lines with the typed code name.
+  EXPECT_TRUE(StartsWith(server.HandleLine(""), "ERR InvalidArgument"));
+  EXPECT_TRUE(StartsWith(server.HandleLine("   "), "ERR InvalidArgument"));
+  EXPECT_TRUE(StartsWith(server.HandleLine("garbage"), "ERR Corruption"));
+  EXPECT_TRUE(StartsWith(server.HandleLine("T:1x|J:|P:"), "ERR Corruption"));
+  EXPECT_TRUE(StartsWith(server.HandleLine("T:|J:|P:"), "ERR Corruption"));
+  EXPECT_TRUE(
+      StartsWith(server.HandleLine("T:9999|J:|P:"), "ERR InvalidArgument"));
+  EXPECT_TRUE(StartsWith(server.HandleLine(std::string(1 << 17, 'x')),
+                         "ERR InvalidArgument"));
+  // Interior control characters are rejected, and the ERR line never
+  // echoes them — one request line always yields exactly one response
+  // line, even for hostile input.
+  const std::string smuggled = server.HandleLine("T:1\n2|J:|P:");
+  EXPECT_TRUE(StartsWith(smuggled, "ERR InvalidArgument")) << smuggled;
+  EXPECT_EQ(smuggled.find('\n'), std::string::npos);
+
+  // A valid line serves an estimate that round-trips through the text form.
+  const LabeledQuery* query = &workload_->queries[0];
+  const std::string line = server.HandleLine(query->query.Serialize());
+  ASSERT_TRUE(StartsWith(line, "EST ")) << line;
+  const double direct = estimator.EstimateAll({query}, 1)[0];
+  EXPECT_EQ(std::strtod(line.c_str() + 4, nullptr), direct);
+
+  const serve::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.rejected_malformed, 8u);
+  EXPECT_EQ(stats.served, 1u);
+}
+
+// The invalidation-protocol satellite: retrain in place while reader
+// threads look up and estimate concurrently. Run under TSan in CI (the
+// ci.yml tsan job) — the revision counter, the model read/write lock and
+// the sharded cache are the synchronization under test. The functional
+// invariant checked here: after ContinueTraining returns, no lookup ever
+// serves a pre-retrain estimate.
+TEST_F(ServeTest, RetrainConcurrentWithLookupsNeverServesStaleEstimates) {
+  MscnModel model = *model_;  // Private copy: this test mutates weights.
+  MscnEstimator estimator(featurizer_, &model, "MSCN",
+                          /*cache_capacity=*/256);
+  MscnConfig config;
+  config.hidden_units = 16;
+  config.epochs = 1;
+  config.batch_size = 32;
+  config.seed = 7;
+  Trainer trainer(featurizer_, config);
+
+  const size_t kCount = 40;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(kCount);
+  // Warm the cache with pre-retrain estimates and remember them.
+  std::vector<double> before(kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    before[i] = estimator.Estimate(*pointers[i]);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int reader = 0; reader < 3; ++reader) {
+    readers.emplace_back([&] {
+      Tape tape;  // EstimateBatch is thread-safe with a caller-owned tape.
+      std::vector<double> estimates;
+      std::vector<uint8_t> hits;
+      size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const LabeledQuery* query = pointers[i++ % kCount];
+        estimator.EstimateBatch({query}, &tape, &estimates, &hits);
+        double probed = 0.0;
+        estimator.ProbeCache(query->query.CanonicalKey(), &probed);
+      }
+    });
+  }
+
+  {
+    // The retrain contract for concurrently-served models: hold the
+    // estimator's model write lock for the in-place weight mutation.
+    auto guard = estimator.AcquireModelWriteLock();
+    trainer.ContinueTraining(&model, pointers, {}, 1, nullptr);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  // Ground truth for the retrained weights: a cache-free estimator.
+  MscnEstimator fresh(featurizer_, &model, "MSCN", /*cache_capacity=*/0);
+  size_t changed = 0;
+  Tape tape;
+  std::vector<double> after;
+  std::vector<uint8_t> hits;
+  for (size_t i = 0; i < kCount; ++i) {
+    estimator.EstimateBatch({pointers[i]}, &tape, &after, &hits);
+    EXPECT_EQ(after[0], fresh.Estimate(*pointers[i]))
+        << "stale (pre-retrain) estimate served as fresh, query " << i;
+    if (after[0] != before[i]) ++changed;
+  }
+  // The retrain moved the weights, so serving identical estimates across
+  // the board would mean the cache never invalidated.
+  EXPECT_GT(changed, 0u);
+}
+
+}  // namespace
+}  // namespace lc
