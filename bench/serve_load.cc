@@ -10,13 +10,30 @@
 // MscnEstimator::EstimateAll over the same queries (see
 // docs/ARCHITECTURE.md, "Serving"). Recorded in BENCH_pr4_serve.json.
 //
+// Retrain-during-load mode (PR 5): repeats the cache-off load while a
+// model retrain runs mid-flight, once with the legacy in-place protocol
+// (ContinueTraining under AcquireModelWriteLock — every cache miss stalls
+// behind the writer) and once with copy-train-swap (Trainer::TrainClone in
+// the background + MscnEstimator::SwapModel via the server's ADMIN RETRAIN
+// verb — no request ever blocks on training). Requests are bucketed into
+// steady-state vs during-retrain and the p99 gap between the buckets is
+// the headline number of BENCH_pr5_swap.json. A separate cache-on pass
+// checks lazy stale-entry retirement and the post-swap bit-match gate.
+//
 // Knobs: LC_SERVE_LOAD_REQUESTS (default 20000), LC_SERVE_LOAD_CLIENTS (8),
-// LC_SERVE_LOAD_DISTINCT (512), plus the server's own LC_SERVE_* set.
+// LC_SERVE_LOAD_DISTINCT (512), LC_SERVE_LOAD_RETRAIN (1 = run the retrain
+// modes), LC_SERVE_LOAD_RETRAIN_QUERIES (2000), LC_SERVE_LOAD_RETRAIN_EPOCHS
+// (2), plus the server's own LC_SERVE_* set.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <iostream>
 #include <thread>
 #include <vector>
+
+#include "core/trainer.h"
 
 #include "eval/experiment.h"
 #include "eval/report.h"
@@ -90,6 +107,134 @@ LoadResult RunLoad(lc::MscnEstimator* estimator, const lc::Schema& schema,
   result.p99_us = lc::Quantile(all, 0.99);
   result.mean_us = lc::Mean(all);
   return result;
+}
+
+// One retrain-during-load run: closed-loop clients submit continuously
+// while a controller thread retrains the model mid-run; each request is
+// bucketed by whether the retrain was in flight when it ran. Requests that
+// overlap the retrain window at either end are counted as "during" — the
+// conservative choice for the stall we are trying to expose.
+struct RetrainLoadResult {
+  double steady_p50_us = 0.0;
+  double steady_p99_us = 0.0;
+  double during_p50_us = 0.0;
+  double during_p99_us = 0.0;
+  double during_max_us = 0.0;
+  size_t steady_count = 0;
+  size_t during_count = 0;
+  size_t shed = 0;  // Unavailable rejections (overload shedding).
+  double retrain_seconds = 0.0;
+  lc::serve::Stats stats;
+};
+
+RetrainLoadResult RunRetrainLoad(
+    lc::MscnEstimator* estimator, const lc::Schema& schema,
+    const lc::SampleSet& samples, const std::vector<std::string>& texts,
+    int clients,
+    const std::function<void(lc::serve::EstimatorServer&)>& retrain) {
+  lc::serve::EstimatorServer server(estimator, &schema, &samples);
+
+  std::atomic<bool> retraining{false};
+  std::atomic<bool> done{false};
+  std::vector<std::vector<double>> steady(static_cast<size_t>(clients));
+  std::vector<std::vector<double>> during(static_cast<size_t>(clients));
+  std::atomic<size_t> shed{0};
+
+  std::vector<std::thread> threads;
+  for (int client = 0; client < clients; ++client) {
+    threads.emplace_back([&, client] {
+      size_t i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const size_t pick =
+            (i++ * 2654435761ULL + static_cast<size_t>(client) * 97ULL) %
+            texts.size();
+        const bool before = retraining.load(std::memory_order_acquire);
+        lc::WallTimer timer;
+        const lc::serve::Response response = server.Submit(texts[pick]);
+        const double us = timer.Seconds() * 1e6;
+        const bool after = retraining.load(std::memory_order_acquire);
+        if (!response.status.ok()) {
+          // In-place retrains can wedge the lanes long enough for the
+          // admission queue to fill; shedding is part of the stall story.
+          shed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        auto& bucket = (before || after)
+                           ? during[static_cast<size_t>(client)]
+                           : steady[static_cast<size_t>(client)];
+        bucket.push_back(us);
+      }
+    });
+  }
+
+  // Controller: sample steady state, retrain, sample a tail, stop.
+  RetrainLoadResult result;
+  {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    lc::WallTimer retrain_timer;
+    retraining.store(true, std::memory_order_release);
+    retrain(server);
+    retraining.store(false, std::memory_order_release);
+    result.retrain_seconds = retrain_timer.Seconds();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    done.store(true, std::memory_order_release);
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.stats = server.GetStats();
+  server.Shutdown();
+
+  std::vector<double> steady_all;
+  std::vector<double> during_all;
+  for (int client = 0; client < clients; ++client) {
+    const auto& s = steady[static_cast<size_t>(client)];
+    const auto& d = during[static_cast<size_t>(client)];
+    steady_all.insert(steady_all.end(), s.begin(), s.end());
+    during_all.insert(during_all.end(), d.begin(), d.end());
+  }
+  result.steady_count = steady_all.size();
+  result.during_count = during_all.size();
+  result.shed = shed.load();
+  if (!steady_all.empty()) {
+    result.steady_p50_us = lc::Quantile(steady_all, 0.50);
+    result.steady_p99_us = lc::Quantile(steady_all, 0.99);
+  }
+  if (!during_all.empty()) {
+    result.during_p50_us = lc::Quantile(during_all, 0.50);
+    result.during_p99_us = lc::Quantile(during_all, 0.99);
+    result.during_max_us =
+        *std::max_element(during_all.begin(), during_all.end());
+  }
+  return result;
+}
+
+void PrintRetrainRow(const char* name, const RetrainLoadResult& result) {
+  std::cout << lc::Format(
+      "%-10s steady p50=%9.1fus p99=%9.1fus | during p50=%9.1fus "
+      "p99=%9.1fus max=%10.1fus | gap(p99)=%6.1fx shed=%zu "
+      "retrain=%.2fs\n",
+      name, result.steady_p50_us, result.steady_p99_us, result.during_p50_us,
+      result.during_p99_us, result.during_max_us,
+      result.steady_p99_us > 0.0 ? result.during_p99_us / result.steady_p99_us
+                                 : 0.0,
+      result.shed, result.retrain_seconds);
+}
+
+void PrintRetrainJson(std::ostream& os, const char* name,
+                      const RetrainLoadResult& result) {
+  os << lc::Format(
+      "    \"%s\": { \"steady_p50_us\": %.1f, \"steady_p99_us\": %.1f, "
+      "\"during_p50_us\": %.1f, \"during_p99_us\": %.1f, "
+      "\"during_max_us\": %.1f, \"p99_gap\": %.2f, \"steady_count\": %zu, "
+      "\"during_count\": %zu, \"shed\": %zu, \"retrain_seconds\": %.2f, "
+      "\"swaps\": %llu, \"retrains_started\": %llu }",
+      name, result.steady_p50_us, result.steady_p99_us, result.during_p50_us,
+      result.during_p99_us, result.during_max_us,
+      result.steady_p99_us > 0.0 ? result.during_p99_us / result.steady_p99_us
+                                 : 0.0,
+      result.steady_count, result.during_count, result.shed,
+      result.retrain_seconds,
+      static_cast<unsigned long long>(result.stats.model_swaps),
+      static_cast<unsigned long long>(result.stats.retrains_started));
 }
 
 void PrintRow(const char* name, const LoadResult& result) {
@@ -198,10 +343,149 @@ int main() {
                "EstimateAll over all "
             << distinct << " distinct queries (cache on and off)\n";
 
+  if (lc::GetEnvInt("LC_SERVE_LOAD_RETRAIN", 1) == 0) {
+    std::cout << "\nJSON fragment for BENCH records:\n{\n";
+    PrintJson(std::cout, "cache_off", off);
+    std::cout << ",\n";
+    PrintJson(std::cout, "cache_on", on);
+    std::cout << "\n}\n";
+    return 0;
+  }
+
+  // ---- Retrain-during-load: in-place stall vs copy-train-swap ----
+  // Cache off: every request is a cache miss, the path the in-place
+  // write lock stalls. The model starts from a private copy per mode so
+  // both retrain the same weights over the same data.
+  const lc::Workload& training = experiment.TrainingWorkload();
+  const size_t retrain_queries = std::min<size_t>(
+      static_cast<size_t>(std::max<int64_t>(
+          1, lc::GetEnvInt("LC_SERVE_LOAD_RETRAIN_QUERIES", 2000))),
+      training.size());
+  const int retrain_epochs = static_cast<int>(std::max<int64_t>(
+      1, lc::GetEnvInt("LC_SERVE_LOAD_RETRAIN_EPOCHS", 2)));
+  std::vector<const lc::LabeledQuery*> retrain_set;
+  retrain_set.reserve(retrain_queries);
+  for (size_t i = 0; i < retrain_queries; ++i) {
+    retrain_set.push_back(&training.queries[i]);
+  }
+  lc::MscnConfig retrain_config = experiment.config().mscn;
+  retrain_config.variant = lc::FeatureVariant::kBitmaps;
+  lc::Trainer trainer(&featurizer, retrain_config);
+
+  std::cout << lc::Format(
+      "\n=== Retrain during load (cache off, %zu retrain queries x %d "
+      "epochs) ===\n",
+      retrain_queries, retrain_epochs);
+
+  // Legacy in-place protocol: misses stall behind the write lock for the
+  // whole retrain.
+  auto inplace_model = std::make_shared<lc::MscnModel>(model);
+  lc::MscnEstimator inplace_est(&featurizer, inplace_model, "inplace",
+                                /*cache_capacity=*/0);
+  const RetrainLoadResult inplace = RunRetrainLoad(
+      &inplace_est, schema, samples, texts, clients,
+      [&](lc::serve::EstimatorServer&) {
+        auto guard = inplace_est.AcquireModelWriteLock();
+        trainer.ContinueTraining(inplace_est.model_snapshot().get(),
+                                 retrain_set, {}, retrain_epochs, nullptr);
+      });
+  PrintRetrainRow("inplace", inplace);
+
+  // Copy-train-swap through the server's ADMIN RETRAIN verb: the clone
+  // trains in the background, the swap is a pointer exchange.
+  auto swap_model = std::make_shared<lc::MscnModel>(model);
+  lc::MscnEstimator swap_est(&featurizer, swap_model, "swap",
+                             /*cache_capacity=*/0);
+  const RetrainLoadResult swap = RunRetrainLoad(
+      &swap_est, schema, samples, texts, clients,
+      [&](lc::serve::EstimatorServer& server) {
+        server.set_retrain_fn([&] {
+          auto fresh = trainer.TrainClone(*swap_est.model_snapshot(),
+                                          retrain_set, {}, retrain_epochs,
+                                          nullptr);
+          swap_est.SwapModel(std::move(fresh));
+          return lc::Status::OK();
+        });
+        const std::string line = server.HandleLine("ADMIN RETRAIN");
+        LC_CHECK(lc::StartsWith(line, "OK")) << line;
+        while (server.retrain_in_flight()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  PrintRetrainRow("swap", swap);
+  LC_CHECK(swap.stats.model_swaps == 1u)
+      << "ADMIN RETRAIN did not publish a swap";
+
+  // Both modes retrained identical weights over identical data, so the
+  // post-retrain models must agree bit-for-bit: the swap path changes
+  // *when* requests see the new model, never *what* it computes.
+  {
+    lc::MscnEstimator a(&featurizer, inplace_est.model_snapshot(), "a",
+                        /*cache_capacity=*/0);
+    lc::MscnEstimator b(&featurizer, swap_est.model_snapshot(), "b",
+                        /*cache_capacity=*/0);
+    const std::vector<double> ea = a.EstimateAll(pointers, 64);
+    const std::vector<double> eb = b.EstimateAll(pointers, 64);
+    LC_CHECK(ea == eb)
+        << "in-place and swap retrains diverged on identical data";
+  }
+
+  // Lazy stale-entry retirement, observable end to end (cache on): warm
+  // every distinct query, swap, then re-serve — each old entry must be
+  // retired individually by the lookup that discovers it, and post-swap
+  // estimates must bit-match a direct EstimateAll on the new model.
+  uint64_t retirements = 0;
+  {
+    auto live_model = std::make_shared<lc::MscnModel>(model);
+    lc::MscnEstimator estimator(&featurizer, live_model, "swap+cache",
+                                /*cache_capacity=*/4096);
+    lc::serve::EstimatorServer server(&estimator, &schema, &samples);
+    server.set_retrain_fn([&] {
+      auto fresh = trainer.TrainClone(*estimator.model_snapshot(),
+                                      retrain_set, {}, 1, nullptr);
+      estimator.SwapModel(std::move(fresh));
+      return lc::Status::OK();
+    });
+    for (size_t i = 0; i < distinct; ++i) {
+      LC_CHECK(server.Submit(texts[i]).status.ok());
+    }
+    const std::string line = server.HandleLine("ADMIN RETRAIN");
+    LC_CHECK(lc::StartsWith(line, "OK")) << line;
+    while (server.retrain_in_flight()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    lc::MscnEstimator fresh_direct(&featurizer, estimator.model_snapshot(),
+                                   "direct", /*cache_capacity=*/0);
+    const std::vector<double> fresh_expected =
+        fresh_direct.EstimateAll(pointers, 64);
+    for (size_t i = 0; i < distinct; ++i) {
+      const lc::serve::Response response = server.Submit(texts[i]);
+      LC_CHECK(response.status.ok()) << response.status;
+      LC_CHECK(response.estimate == fresh_expected[i])
+          << "post-swap estimate diverged from the new model at query " << i;
+    }
+    retirements = server.GetStats().stale_retirements;
+    LC_CHECK(retirements >= distinct)
+        << "expected every warmed entry to retire lazily, saw "
+        << retirements;
+  }
+  std::cout << lc::Format(
+      "\npost-swap: all %zu warmed cache entries retired lazily "
+      "(%llu stale retirements), estimates bit-match the new model\n",
+      distinct, static_cast<unsigned long long>(retirements));
+
   std::cout << "\nJSON fragment for BENCH records:\n{\n";
   PrintJson(std::cout, "cache_off", off);
   std::cout << ",\n";
   PrintJson(std::cout, "cache_on", on);
+  std::cout << ",\n";
+  PrintRetrainJson(std::cout, "retrain_inplace", inplace);
+  std::cout << ",\n";
+  PrintRetrainJson(std::cout, "retrain_swap", swap);
+  std::cout << lc::Format(
+      ",\n    \"swap_lazy_retirement\": { \"distinct\": %zu, "
+      "\"stale_retirements\": %llu }",
+      distinct, static_cast<unsigned long long>(retirements));
   std::cout << "\n}\n";
   return 0;
 }

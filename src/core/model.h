@@ -39,6 +39,21 @@ class WeightRevision {
   uint64_t load() const { return value_.load(std::memory_order_acquire); }
   void Bump() { value_.fetch_add(1, std::memory_order_release); }
 
+  /// Advances the counter to at least `other + 1` (release; no-op when
+  /// already past it). Used when a trained clone is published over a
+  /// serving handle (MscnEstimator::SwapModel): the estimator-visible
+  /// revision then strictly increases across swaps and in-place retrains
+  /// alike, so a cache entry tagged under any superseded regime can never
+  /// compare equal to the current revision again (no ABA window).
+  void AdvancePast(uint64_t other) {
+    uint64_t current = value_.load(std::memory_order_relaxed);
+    while (current <= other &&
+           !value_.compare_exchange_weak(current, other + 1,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::atomic<uint64_t> value_{0};
 };
@@ -76,6 +91,7 @@ class MscnModel {
   /// atomic, so serving threads may poll it while a retrain is in flight.
   uint64_t revision() const { return revision_.load(); }
   void BumpRevision() { revision_.Bump(); }
+  void AdvanceRevisionPast(uint64_t other) { revision_.AdvancePast(other); }
 
   TargetNormalizer& normalizer() { return normalizer_; }
   const TargetNormalizer& normalizer() const { return normalizer_; }

@@ -34,12 +34,19 @@ void ForEachBatchShard(
 MscnEstimator::MscnEstimator(const Featurizer* featurizer, MscnModel* model,
                              std::string display_name,
                              int64_t cache_capacity)
+    : MscnEstimator(featurizer, NonOwning(model), std::move(display_name),
+                    cache_capacity) {}
+
+MscnEstimator::MscnEstimator(const Featurizer* featurizer,
+                             std::shared_ptr<MscnModel> model,
+                             std::string display_name,
+                             int64_t cache_capacity)
     : featurizer_(featurizer),
-      model_(model),
+      model_(std::move(model)),
       display_name_(std::move(display_name)) {
   LC_CHECK(featurizer != nullptr);
-  LC_CHECK(model != nullptr);
-  LC_CHECK(featurizer->dims() == model->dims())
+  const std::shared_ptr<MscnModel> current = model_.Load();
+  LC_CHECK(featurizer->dims() == current->dims())
       << "featurizer and model disagree on feature dimensions";
   if (cache_capacity < 0) cache_capacity = GetEnvInt("LC_EST_CACHE", 4096);
   if (cache_capacity > 0) {
@@ -54,15 +61,17 @@ double MscnEstimator::Estimate(const LabeledQuery& query) {
   return estimates[0];
 }
 
-bool MscnEstimator::LookupFresh(const std::string& canonical_key,
+bool MscnEstimator::LookupFresh(const MscnModel& model,
+                                const std::string& canonical_key,
                                 double* estimate, bool count_miss) {
   if (!cache_) return false;
-  // The revision is read before the entry: if a retrain bumps it between
-  // the two, a fresh-looking entry under the old revision is simply served
-  // one last time *before* the retrain's publication point — linearizable —
-  // while an entry inserted for the new revision fails the comparison and
-  // is recomputed, which is safe (never stale, merely redundant).
-  const uint64_t revision = model_->revision();
+  // The revision is read before the entry: if a retrain bumps it (or a
+  // swap supersedes the snapshot) between the two, a fresh-looking entry
+  // under the old revision is simply served one last time *before* the
+  // retrain's publication point — linearizable — while an entry inserted
+  // for the new revision fails the comparison and is recomputed, which is
+  // safe (never stale, merely redundant).
+  const uint64_t revision = model.revision();
   CachedEstimate entry;
   if (!cache_->LookupValid(canonical_key, &entry,
                            [revision](const CachedEstimate& cached) {
@@ -80,7 +89,25 @@ bool MscnEstimator::ProbeCache(const std::string& canonical_key,
   // A probe miss is a peek, not a counted miss: the estimate that follows
   // it (EstimateBatch in a server lane) re-runs the counting lookup, so
   // counting here too would double every cold request's miss.
-  return LookupFresh(canonical_key, estimate, /*count_miss=*/false);
+  const std::shared_ptr<MscnModel> model = model_.Load();
+  return LookupFresh(*model, canonical_key, estimate, /*count_miss=*/false);
+}
+
+std::shared_ptr<MscnModel> MscnEstimator::SwapModel(
+    std::shared_ptr<MscnModel> fresh) {
+  LC_CHECK(fresh != nullptr);
+  LC_CHECK(featurizer_->dims() == fresh->dims())
+      << "swapped-in model was trained for a different featurization";
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  const std::shared_ptr<MscnModel> current = model_.Load();
+  LC_CHECK(fresh.get() != current.get())
+      << "swapping the published model with itself";
+  // Strict monotonicity of the estimator-visible revision: whatever count
+  // the clone's own training history produced, publish it above the
+  // superseded model's so no cached entry of any earlier regime can ever
+  // read as fresh again (ABA-free lazy retirement).
+  fresh->AdvanceRevisionPast(current->revision());
+  return model_.Swap(std::move(fresh));
 }
 
 void MscnEstimator::EstimateBatch(
@@ -92,6 +119,13 @@ void MscnEstimator::EstimateBatch(
   if (cache_hits != nullptr) cache_hits->assign(count, 0);
   if (count == 0) return;
 
+  // One snapshot for the whole call: lookups judge freshness against it
+  // and misses are scored with it, so the batch is coherent (and its
+  // estimates bit-match EstimateAll over this model) even when a swap
+  // publishes a successor mid-flight — the handle keeps the snapshot
+  // alive until we are done with it.
+  const std::shared_ptr<MscnModel> model = model_.Load();
+
   // Partition into cache hits (served immediately) and misses (scored as
   // one padded batch below). With the cache disabled everything misses.
   std::vector<size_t> miss_slots;
@@ -102,7 +136,7 @@ void MscnEstimator::EstimateBatch(
     for (size_t i = 0; i < count; ++i) {
       std::string key = queries[i]->query.CanonicalKey();
       double cached = 0.0;
-      if (LookupFresh(key, &cached, /*count_miss=*/true)) {
+      if (LookupFresh(*model, key, &cached, /*count_miss=*/true)) {
         (*estimates)[i] = cached;
         if (cache_hits != nullptr) (*cache_hits)[i] = 1;
       } else {
@@ -121,11 +155,13 @@ void MscnEstimator::EstimateBatch(
   {
     // Forward passes read the weights; a concurrent in-place retrain holds
     // this exclusively (AcquireModelWriteLock), so within the section the
-    // revision is stable and matches the weights we read.
+    // revision is stable and matches the weights we read. A copy-train-
+    // swap never takes the exclusive side — it replaces the pointer, and
+    // we keep scoring the snapshot we loaded.
     std::shared_lock<std::shared_mutex> lock(model_mu_);
-    revision = model_->revision();
+    revision = model->revision();
     const MscnBatch batch = featurizer_->MakeBatch(to_score, nullptr);
-    model_->Predict(batch, tape, &scored);
+    model->Predict(batch, tape, &scored);
   }
 
   if (!cache_) {
@@ -142,8 +178,10 @@ void MscnEstimator::EstimateBatch(
 std::vector<double> MscnEstimator::EstimateAll(
     const std::vector<const LabeledQuery*>& queries, size_t batch_size,
     ThreadPool* pool) {
-  // The caller's shared hold excludes weight writers for the whole batch
-  // sweep; the pool workers' reads are ordered through the fork/join.
+  // One snapshot for the whole sweep; the shared hold excludes in-place
+  // weight writers, and the pool workers' reads are ordered through the
+  // fork/join.
+  const std::shared_ptr<MscnModel> model = model_.Load();
   std::shared_lock<std::shared_mutex> lock(model_mu_);
   std::vector<double> estimates(queries.size());
   // Forward passes only read the shared model; see ForEachBatchShard for
@@ -154,7 +192,7 @@ std::vector<double> MscnEstimator::EstimateAll(
           size_t begin) {
         const MscnBatch batch = featurizer_->MakeBatch(slice, nullptr);
         std::vector<double> batch_estimates;
-        model_->Predict(batch, tape, &batch_estimates);
+        model->Predict(batch, tape, &batch_estimates);
         std::copy(batch_estimates.begin(), batch_estimates.end(),
                   estimates.begin() + static_cast<ptrdiff_t>(begin));
       });

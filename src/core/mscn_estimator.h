@@ -9,10 +9,10 @@
 //    A hit skips featurization and the forward pass. Counters are exposed
 //    via cache_counters() and printed by eval::PrintCacheCounters.
 //  - Every cache entry records the model weight revision it was computed
-//    under and is served only while that revision is current, so an
-//    in-place retrain (Trainer::ContinueTraining) can never surface a
-//    pre-retrain estimate as fresh — even when the retrain races with
-//    serving threads. See "Invalidation protocol" below.
+//    under and is served only while that revision is current, so a retrain
+//    (in-place or copy-train-swap) can never surface a pre-retrain
+//    estimate as fresh — even when the retrain races with serving threads.
+//    See "Invalidation protocol" below.
 //  - EstimateAll partitions its batches across the process thread pool
 //    with per-shard tapes, yielding the same estimates as the sequential
 //    path bit-for-bit (padding rows are zero and masked, so a query's
@@ -22,20 +22,44 @@
 //    per-query hit flags, and scores all misses in one forward pass on a
 //    caller-owned tape.
 //
+// Model ownership: the estimator holds its model behind a SwapHandle
+// (util/swap_handle.h). Constructed over a raw pointer it merely borrows
+// (the model must outlive it, as before); constructed over a shared_ptr it
+// shares ownership. Either way, every estimate path works on a Load()ed
+// snapshot, so SwapModel() can atomically publish a replacement trained
+// off to the side (Trainer::TrainClone) while in-flight estimates finish
+// against the model they started with.
+//
+// Two retrain disciplines compose with serving (docs/ARCHITECTURE.md,
+// "Serving" — use exactly one at a time per estimator):
+//  - Copy-train-swap (zero-stall, preferred): TrainClone + SwapModel. No
+//    estimate ever blocks on training; the swap is a pointer exchange, and
+//    SwapModel advances the clone's revision strictly past the superseded
+//    model's so per-entry cache invalidation retires old results lazily.
+//  - In-place (legacy): hold AcquireModelWriteLock() around
+//    Trainer::ContinueTraining on the *published* model. Correct, but
+//    every cache miss stalls behind the writer for the whole retrain.
+//
 // Invalidation protocol (audited for races; pinned by tests/serve_test.cc
 // under TSan):
 //  - MscnModel::revision() is an atomic counter bumped (release) by
 //    ContinueTraining before it mutates weights; cache lookups load it
 //    (acquire) and treat any entry whose recorded revision differs as a
-//    miss. Entries inserted by in-flight estimates that started before a
-//    bump carry the pre-bump revision and are therefore never served after
-//    the retrain — the clear-then-reinsert window of a "wipe the cache on
-//    revision change" design cannot occur.
-//  - Weight *bytes* are guarded by a reader/writer lock: estimate paths
-//    hold it shared around the forward pass, and whoever retrains the
-//    model in place must hold AcquireModelWriteLock() for the duration.
+//    miss, erasing it in place (lazy retirement — never a global wipe,
+//    whose clear-then-reinsert window can serve a pre-retrain estimate as
+//    fresh). Entries inserted by in-flight estimates that started before a
+//    bump or swap carry the superseded revision and are therefore never
+//    served afterwards.
+//  - SwapModel makes the estimator-visible revision strictly monotonic
+//    (AdvanceRevisionPast), so an entry tagged under any earlier model —
+//    however many swaps ago — can never compare equal to the current
+//    revision again.
+//  - Weight *bytes* of the published model are guarded by a reader/writer
+//    lock: estimate paths hold it shared around the forward pass, and an
+//    in-place retrain must hold AcquireModelWriteLock() for the duration.
 //    Cache hits bypass the lock entirely, so they stay fast while a
-//    retrain is in flight.
+//    retrain is in flight; the swap path never takes it exclusively at
+//    all.
 
 #ifndef LC_CORE_MSCN_ESTIMATOR_H_
 #define LC_CORE_MSCN_ESTIMATOR_H_
@@ -54,6 +78,7 @@
 #include "nn/tape.h"
 #include "util/lru_cache.h"
 #include "util/parallel.h"
+#include "util/swap_handle.h"
 
 namespace lc {
 
@@ -72,10 +97,17 @@ void ForEachBatchShard(
 
 class MscnEstimator : public CardinalityEstimator {
  public:
-  /// Takes ownership of nothing: featurizer and model must outlive the
-  /// estimator. `cache_capacity < 0` reads LC_EST_CACHE (default 4096);
+  /// Borrows the model (and the featurizer, which must both outlive the
+  /// estimator). `cache_capacity < 0` reads LC_EST_CACHE (default 4096);
   /// 0 disables the result cache.
   MscnEstimator(const Featurizer* featurizer, MscnModel* model,
+                std::string display_name = "MSCN",
+                int64_t cache_capacity = -1);
+
+  /// Shares ownership of the model — the handle keeps it alive until the
+  /// last in-flight estimate over it finishes, even across SwapModel.
+  MscnEstimator(const Featurizer* featurizer,
+                std::shared_ptr<MscnModel> model,
                 std::string display_name = "MSCN",
                 int64_t cache_capacity = -1);
 
@@ -96,40 +128,60 @@ class MscnEstimator : public CardinalityEstimator {
   /// caller-owned `tape`, consulting and filling the result cache.
   /// `estimates` receives one value per query; `cache_hits` (optional) one
   /// flag per query. Estimates are bit-identical to EstimateAll over the
-  /// same queries: hits replay a value the same forward-pass math produced
-  /// earlier, and misses are scored with padding-masked batching that is
-  /// independent of batch composition. Safe to call from many threads
-  /// concurrently provided each caller passes its own tape.
+  /// same queries against the model snapshot that served them: hits replay
+  /// a value the same forward-pass math produced earlier under a revision
+  /// that is still current, and misses are scored on one snapshot with
+  /// padding-masked batching independent of batch composition. Safe to
+  /// call from many threads concurrently provided each caller passes its
+  /// own tape.
   void EstimateBatch(const std::vector<const LabeledQuery*>& queries,
                      Tape* tape, std::vector<double>* estimates,
                      std::vector<uint8_t>* cache_hits);
 
   /// Cache-only probe, keyed by Query::CanonicalKey() text: true (and
   /// `*estimate` set) only on a hit that is fresh for the current weight
-  /// revision. Never touches the model, so it is wait-free with respect to
-  /// a concurrent retrain. Counts toward the hit/miss counters only when
+  /// revision. Never touches the weights, so it cannot stall on a
+  /// concurrent retrain. Counts toward the hit/miss counters only when
   /// it hits (a miss is recounted by the estimate that follows).
   bool ProbeCache(const std::string& canonical_key, double* estimate);
 
+  /// Atomically publishes `fresh` (trained off to the side, e.g. by
+  /// Trainer::TrainClone) as the serving model and returns the superseded
+  /// one. In-flight estimates finish against the snapshot they loaded; new
+  /// estimates see `fresh`. The fresh model's revision is advanced
+  /// strictly past the superseded model's, so cached estimates of every
+  /// earlier regime retire lazily at the lookup that discovers them — no
+  /// cache wipe, no stall. Do not combine with a concurrent in-place
+  /// retrain of the published model.
+  std::shared_ptr<MscnModel> SwapModel(std::shared_ptr<MscnModel> fresh);
+
+  /// The currently published model. The snapshot stays valid (and its
+  /// weights stable, absent an in-place retrain) for as long as the caller
+  /// holds it, even across SwapModel.
+  std::shared_ptr<MscnModel> model_snapshot() const { return model_.Load(); }
+
   /// Serializes in-place weight mutation against the estimate paths. Hold
   /// the returned lock around Trainer::ContinueTraining (or any direct
-  /// parameter write) on a model that is concurrently served:
+  /// parameter write) on the published model while it is concurrently
+  /// served:
   ///   auto guard = estimator.AcquireModelWriteLock();
-  ///   trainer.ContinueTraining(&model, ...);
+  ///   trainer.ContinueTraining(estimator.model_snapshot().get(), ...);
   /// Cache hits do not take this lock; misses block until the writer is
-  /// done and then score with the post-retrain weights.
+  /// done and then score with the post-retrain weights. Prefer the
+  /// zero-stall TrainClone + SwapModel path.
   std::unique_lock<std::shared_mutex> AcquireModelWriteLock() {
     return std::unique_lock<std::shared_mutex>(model_mu_);
   }
 
   /// Hit/miss/eviction counters of the result cache (zeroes when the cache
-  /// is disabled).
+  /// is disabled). `invalidations` counts lazily retired stale entries.
   CacheCounters cache_counters() const;
   size_t cache_capacity() const { return cache_ ? cache_->capacity() : 0; }
 
   /// Drops all cached estimates. Model retraining through
-  /// Trainer::ContinueTraining is detected automatically (per-entry weight
-  /// revisions); call this only after mutating the model some other way.
+  /// Trainer::ContinueTraining or SwapModel is detected automatically
+  /// (per-entry weight revisions); call this only after mutating the model
+  /// some other way.
   void InvalidateCache();
 
  private:
@@ -142,11 +194,14 @@ class MscnEstimator : public CardinalityEstimator {
 
   /// Shared lookup behind ProbeCache (peek: count_miss=false) and the
   /// EstimateBatch miss partition (authoritative: count_miss=true).
-  bool LookupFresh(const std::string& canonical_key, double* estimate,
-                   bool count_miss);
+  /// Freshness is judged against `model`'s revision — the caller's
+  /// snapshot, so one EstimateBatch call is coherent even while a swap
+  /// lands mid-flight.
+  bool LookupFresh(const MscnModel& model, const std::string& canonical_key,
+                   double* estimate, bool count_miss);
 
   const Featurizer* featurizer_;
-  MscnModel* model_;
+  SwapHandle<MscnModel> model_;
   std::string display_name_;
   // Serving workspace, reused across calls so steady-state inference does
   // not allocate tensor storage. Makes single-query Estimate stateful: a
@@ -154,8 +209,12 @@ class MscnEstimator : public CardinalityEstimator {
   // and EstimateBatch use caller/shard-owned tapes and are thread-safe).
   Tape tape_;
   // Readers hold shared around forward passes; in-place retrainers hold
-  // exclusive via AcquireModelWriteLock().
+  // exclusive via AcquireModelWriteLock(). The swap path never writes
+  // published weights, so it takes neither side.
   mutable std::shared_mutex model_mu_;
+  // Serializes SwapModel with itself (load-advance-publish must not
+  // interleave between two swappers).
+  std::mutex swap_mu_;
   // Keyed by the canonical query text itself (not its hash), so a hit is
   // exact by construction.
   std::unique_ptr<ShardedLruCache<std::string, CachedEstimate>> cache_;

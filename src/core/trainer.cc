@@ -232,4 +232,17 @@ void Trainer::ContinueTraining(
             config_.seed ^ 0x1c0de5a17ULL, history);
 }
 
+std::shared_ptr<MscnModel> Trainer::TrainClone(
+    const MscnModel& base, const std::vector<const LabeledQuery*>& train,
+    const std::vector<const LabeledQuery*>& validation, int epochs,
+    TrainingHistory* history) {
+  // The clone starts from base's weights and revision count; the
+  // ContinueTraining below bumps its revision before touching weights, so
+  // the published clone never shares a revision with the model it
+  // replaces. No locking: the clone is private until SwapModel.
+  auto clone = std::make_shared<MscnModel>(base);
+  ContinueTraining(clone.get(), train, validation, epochs, history);
+  return clone;
+}
+
 }  // namespace lc

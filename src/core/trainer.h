@@ -5,6 +5,7 @@
 #ifndef LC_CORE_TRAINER_H_
 #define LC_CORE_TRAINER_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/featurizer.h"
@@ -56,6 +57,21 @@ class Trainer {
                         const std::vector<const LabeledQuery*>& train,
                         const std::vector<const LabeledQuery*>& validation,
                         int epochs, TrainingHistory* history);
+
+  /// The copy-train-swap entry point (zero-stall retrains; see
+  /// docs/ARCHITECTURE.md, "Serving"): clones `base` and runs
+  /// ContinueTraining on the private clone — serving traffic against
+  /// `base` continues untouched for the whole retrain, no lock required.
+  /// The returned model carries a bumped weight revision and is ready for
+  /// MscnEstimator::SwapModel, which atomically publishes it and lets
+  /// per-entry cache revisions retire the old results lazily. `base` is
+  /// copied up front, so a concurrent in-place mutation of it during the
+  /// clone-train races the copy — retrain a served model through either
+  /// this path or the write-lock path, not both at once.
+  std::shared_ptr<MscnModel> TrainClone(
+      const MscnModel& base, const std::vector<const LabeledQuery*>& train,
+      const std::vector<const LabeledQuery*>& validation, int epochs,
+      TrainingHistory* history);
 
   /// Mean q-error of `model` on `queries` (denormalized predictions vs true
   /// cardinalities). Batches are scored across the process pool with

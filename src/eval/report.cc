@@ -117,12 +117,13 @@ void PrintCacheCounters(std::ostream& os, const std::string& name,
   }
   os << Format(
       "%s result cache: %llu hits / %llu lookups (%.1f%% hit rate, "
-      "%llu insertions, %llu evictions)\n",
+      "%llu insertions, %llu evictions, %llu stale retirements)\n",
       name.c_str(), static_cast<unsigned long long>(counters.hits),
       static_cast<unsigned long long>(counters.lookups()),
       counters.HitRate() * 100.0,
       static_cast<unsigned long long>(counters.insertions),
-      static_cast<unsigned long long>(counters.evictions));
+      static_cast<unsigned long long>(counters.evictions),
+      static_cast<unsigned long long>(counters.invalidations));
 }
 
 void PrintJoinDistribution(std::ostream& os,

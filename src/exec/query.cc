@@ -1,8 +1,6 @@
 #include "exec/query.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <limits>
 
 #include "db/column.h"
@@ -163,23 +161,16 @@ std::string Query::Serialize() const {
 
 namespace {
 
-// Strict int32 parse: the whole piece must be a decimal integer within
-// [min_value, INT32_MAX]. Unlike atoi/atol, rejects empty fields, trailing
-// garbage ("1x"), and out-of-range values instead of truncating silently —
-// the serving path feeds untrusted text through here.
-Status ParseInt32(const std::string& piece, int32_t min_value, int32_t* out) {
-  char* end = nullptr;
-  errno = 0;
-  const long long value = std::strtoll(piece.c_str(), &end, 10);
-  if (piece.empty() || end != piece.c_str() + piece.size()) {
-    return Status::Corruption("bad integer in query: '" + piece + "'");
+// Strict int32 parse over the shared util helper (rejects empty fields,
+// trailing garbage, and out-of-range values — the serving path feeds
+// untrusted text through here). Deserialize reports malformed *query text*
+// as Corruption, so the helper's InvalidArgument is remapped.
+Status ParseQueryInt32(const std::string& piece, int32_t min_value,
+                       int32_t* out) {
+  const Status status = lc::ParseInt32(piece, min_value, out);
+  if (!status.ok()) {
+    return Status::Corruption(std::string(status.message()) + " in query");
   }
-  if (errno == ERANGE || value < min_value ||
-      value > std::numeric_limits<int32_t>::max()) {
-    return Status::Corruption("integer out of range in query: '" + piece +
-                              "'");
-  }
-  *out = static_cast<int32_t>(value);
   return Status::OK();
 }
 
@@ -188,7 +179,7 @@ Status ParseIntList(std::string_view text, std::vector<int>* out) {
   if (text.empty()) return Status::OK();
   for (const std::string& piece : Split(text, ',')) {
     int32_t value = 0;
-    LC_RETURN_IF_ERROR(ParseInt32(piece, /*min_value=*/0, &value));
+    LC_RETURN_IF_ERROR(ParseQueryInt32(piece, /*min_value=*/0, &value));
     out->push_back(value);
   }
   return Status::OK();
@@ -204,12 +195,12 @@ Status ParsePredicate(const std::string& text, Predicate* out) {
   int32_t column = 0;
   int32_t literal = 0;
   LC_RETURN_IF_ERROR(
-      ParseInt32(text.substr(0, dot), /*min_value=*/0, &table));
-  LC_RETURN_IF_ERROR(ParseInt32(text.substr(dot + 1, op_pos - dot - 1),
-                                /*min_value=*/0, &column));
+      ParseQueryInt32(text.substr(0, dot), /*min_value=*/0, &table));
+  LC_RETURN_IF_ERROR(ParseQueryInt32(text.substr(dot + 1, op_pos - dot - 1),
+                                     /*min_value=*/0, &column));
   LC_RETURN_IF_ERROR(
-      ParseInt32(text.substr(op_pos + 1),
-                 std::numeric_limits<int32_t>::min(), &literal));
+      ParseQueryInt32(text.substr(op_pos + 1),
+                      std::numeric_limits<int32_t>::min(), &literal));
   out->table = table;
   out->column = column;
   out->literal = literal;

@@ -56,5 +56,46 @@ std::string FormatResponse(const Response& response) {
                 response.latency_us, response.cache_hit ? "hit" : "miss");
 }
 
+namespace {
+constexpr std::string_view kAdminPrefix = "ADMIN ";
+}  // namespace
+
+bool IsAdminRequest(std::string_view text) {
+  // A bare "ADMIN" (verb missing) is still an admin request — it must get
+  // an admin-shaped error, not fall through to the query parser.
+  return text == "ADMIN" ||
+         text.substr(0, kAdminPrefix.size()) == kAdminPrefix;
+}
+
+StatusOr<std::string> ParseAdminVerb(std::string_view text) {
+  if (!IsAdminRequest(text)) {
+    return Status::InvalidArgument("not an admin request line");
+  }
+  const std::string verb =
+      text.size() <= kAdminPrefix.size()
+          ? std::string()
+          : Trim(text.substr(kAdminPrefix.size()));
+  if (verb.empty()) {
+    return Status::InvalidArgument("missing admin verb");
+  }
+  for (char c : verb) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    if (!ok) {
+      return Status::InvalidArgument("bad admin verb: '" +
+                                     SanitizeForLine(verb) + "'");
+    }
+  }
+  return verb;
+}
+
+std::string FormatAdminResponse(const Status& status,
+                                std::string_view detail) {
+  if (!status.ok()) {
+    return Format("ERR %s %s", StatusCodeName(status.code()),
+                  SanitizeForLine(status.message()).c_str());
+  }
+  return Format("OK %s", SanitizeForLine(detail).c_str());
+}
+
 }  // namespace serve
 }  // namespace lc

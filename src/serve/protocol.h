@@ -8,6 +8,14 @@
 //   -> T:9999|J:|P:
 //   <- ERR InvalidArgument table id 9999 out of range [0, 6)
 //
+// Lines starting with "ADMIN " are operator commands, answered with an
+// "OK <detail>" or "ERR ..." line:
+//
+//   -> ADMIN RETRAIN        kick a background copy-train-swap model update
+//   <- OK retrain started
+//   -> ADMIN STATS          one-line counter snapshot
+//   <- OK served=812 swaps=1 stale_retirements=40 ...
+//
 // Malformed input never crashes the server: every rejection is a typed
 // Status rendered as an ERR line (see exec/query.cc for the strict parser
 // and Query::Validate for the schema checks).
@@ -43,6 +51,20 @@ StatusOr<std::string> ParseRequestLine(std::string_view line,
 /// %.17g so the line round-trips the double exactly (the bit-match
 /// guarantee of the serving path is observable through the protocol).
 std::string FormatResponse(const Response& response);
+
+/// True when a (ParseRequestLine-cleaned) request is an operator command
+/// rather than query text.
+bool IsAdminRequest(std::string_view text);
+
+/// Extracts the admin verb ("RETRAIN", "STATS", ...) from an admin request
+/// line. Verbs are single uppercase-alphanumeric words; anything else is
+/// InvalidArgument — untrusted clients reach this parser too.
+StatusOr<std::string> ParseAdminVerb(std::string_view text);
+
+/// Renders an admin command outcome: "OK <detail>" on success (detail must
+/// be single-line), "ERR <CodeName> <message>" otherwise.
+std::string FormatAdminResponse(const Status& status,
+                                std::string_view detail);
 
 }  // namespace serve
 }  // namespace lc

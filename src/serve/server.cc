@@ -3,8 +3,16 @@
 #include <algorithm>
 #include <utility>
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include "util/check.h"
 #include "util/env.h"
+#include "util/logging.h"
+#include "util/str.h"
 
 namespace lc {
 namespace serve {
@@ -166,7 +174,103 @@ std::string EstimatorServer::HandleLine(std::string_view line) {
     response.status = text.status();
     return FormatResponse(response);
   }
+  if (IsAdminRequest(*text)) return HandleAdmin(*text);
   return FormatResponse(Submit(*text));
+}
+
+std::string EstimatorServer::FormatStatsLine() {
+  const Stats stats = GetStats();
+  return lc::Format(
+      "received=%llu served=%llu cache_hits=%llu rejected=%llu "
+      "batches=%llu retrains=%llu swaps=%llu retrain_failures=%llu "
+      "stale_retirements=%llu retrain_in_flight=%d",
+      static_cast<unsigned long long>(stats.received),
+      static_cast<unsigned long long>(stats.served),
+      static_cast<unsigned long long>(stats.admission_cache_hits),
+      static_cast<unsigned long long>(stats.rejected_malformed +
+                                      stats.rejected_overload +
+                                      stats.rejected_shutdown),
+      static_cast<unsigned long long>(stats.model_batches),
+      static_cast<unsigned long long>(stats.retrains_started),
+      static_cast<unsigned long long>(stats.model_swaps),
+      static_cast<unsigned long long>(stats.retrains_failed),
+      static_cast<unsigned long long>(stats.stale_retirements),
+      retrain_in_flight() ? 1 : 0);
+}
+
+void EstimatorServer::set_retrain_fn(RetrainFn fn) {
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  retrain_fn_ = std::move(fn);
+}
+
+std::string EstimatorServer::HandleAdmin(std::string_view text) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  admin_requests_.fetch_add(1, std::memory_order_relaxed);
+  StatusOr<std::string> verb = ParseAdminVerb(text);
+  if (!verb.ok()) {
+    rejected_malformed_.fetch_add(1, std::memory_order_relaxed);
+    return FormatAdminResponse(verb.status(), "");
+  }
+
+  if (*verb == "STATS") {
+    return FormatAdminResponse(Status::OK(), FormatStatsLine());
+  }
+
+  if (*verb == "RETRAIN") {
+    std::lock_guard<std::mutex> lock(admin_mu_);
+    if (!retrain_fn_) {
+      return FormatAdminResponse(
+          Status::Unimplemented("no retrain hook configured"), "");
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      return FormatAdminResponse(
+          Status::Unavailable("server is shutting down"), "");
+    }
+    if (retrain_in_flight_.load(std::memory_order_acquire)) {
+      return FormatAdminResponse(
+          Status::Unavailable("retrain already in flight"), "");
+    }
+    // Reap the previous (finished) retrain thread before launching the
+    // next; the in-flight flag above guarantees it is done.
+    if (retrain_thread_.joinable()) retrain_thread_.join();
+    retrain_in_flight_.store(true, std::memory_order_release);
+    retrains_started_.fetch_add(1, std::memory_order_relaxed);
+    retrain_thread_ = std::thread([this] {
+#if defined(__linux__)
+      // Background CPU priority for the retrain: clone-training is
+      // throughput work, serving owns the cores. Nice is per-thread on
+      // Linux and inherited by threads the trainer spawns (the
+      // featurization producer), so on a saturated machine the retrain
+      // soaks up idle cycles instead of the serving path's
+      // (LC_SERVE_RETRAIN_NICE, default 19 = lowest; 0 disables).
+      const int nice_level = static_cast<int>(
+          GetEnvInt("LC_SERVE_RETRAIN_NICE", 19));
+      if (nice_level != 0) {
+        // Raising one's own nice never needs privileges; ignore failure.
+        (void)setpriority(PRIO_PROCESS,
+                          static_cast<id_t>(syscall(SYS_gettid)),
+                          nice_level);
+      }
+#endif
+      // Off every lane and every lock: the hook clone-trains in the
+      // background while serving continues, then publishes with an atomic
+      // swap. Failure leaves the old model serving.
+      const Status status = retrain_fn_();
+      if (status.ok()) {
+        model_swaps_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        retrains_failed_.fetch_add(1, std::memory_order_relaxed);
+        LC_LOG(WARNING) << "background retrain failed: "
+                        << status.ToString();
+      }
+      retrain_in_flight_.store(false, std::memory_order_release);
+    });
+    return FormatAdminResponse(Status::OK(), "retrain started");
+  }
+
+  rejected_malformed_.fetch_add(1, std::memory_order_relaxed);
+  return FormatAdminResponse(
+      Status::InvalidArgument("unknown admin verb: " + *verb), "");
 }
 
 void EstimatorServer::LaneLoop(LaneStats* stats) {
@@ -225,6 +329,13 @@ void EstimatorServer::Shutdown() {
   for (std::thread& lane : lanes_) {
     if (lane.joinable()) lane.join();
   }
+  {
+    // An in-flight background retrain finishes (and publishes or fails)
+    // before the server is torn down — the hook may reference the
+    // estimator and trainer this server borrows.
+    std::lock_guard<std::mutex> admin_lock(admin_mu_);
+    if (retrain_thread_.joinable()) retrain_thread_.join();
+  }
   // With lanes == 0 (tests) nothing drained the queue: resolve the
   // leftovers with a typed rejection so no future is silently abandoned.
   std::unique_ptr<Pending> leftover;
@@ -247,6 +358,11 @@ Stats EstimatorServer::GetStats() const {
   stats.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
   stats.admission_cache_hits =
       admission_hits_.load(std::memory_order_relaxed);
+  stats.admin_requests = admin_requests_.load(std::memory_order_relaxed);
+  stats.retrains_started = retrains_started_.load(std::memory_order_relaxed);
+  stats.retrains_failed = retrains_failed_.load(std::memory_order_relaxed);
+  stats.model_swaps = model_swaps_.load(std::memory_order_relaxed);
+  stats.stale_retirements = estimator_->cache_counters().invalidations;
   stats.served = stats.admission_cache_hits;
   for (const auto& lane : lane_stats_) {
     std::lock_guard<std::mutex> lock(lane->mu);

@@ -87,6 +87,14 @@ struct Stats {
   uint64_t served = 0;              // OK responses.
   uint64_t admission_cache_hits = 0;  // Served at admission, never queued.
   uint64_t model_batches = 0;       // EstimateBatch calls across lanes.
+  uint64_t admin_requests = 0;      // ADMIN protocol lines handled.
+  uint64_t retrains_started = 0;    // Background retrains kicked off.
+  uint64_t retrains_failed = 0;     // Retrain hook returned non-OK.
+  uint64_t model_swaps = 0;         // Completed copy-train-swap updates.
+  // Stale cache entries retired lazily by lookups after a swap or
+  // in-place retrain (the estimator cache's invalidation counter — the
+  // observable proof that invalidation is per-entry, not a global wipe).
+  uint64_t stale_retirements = 0;
   RunningStat batch_size;           // Requests per model batch.
   RunningStat queue_wait_us;        // Admission → lane pop.
   RunningStat service_latency_us;   // Admission → reply (lane-served only).
@@ -116,8 +124,24 @@ class EstimatorServer {
   /// open-loop mode and the shutdown/backpressure tests).
   std::future<Response> SubmitAsync(std::string_view query_text);
 
-  /// Full line protocol: request line in, response line out.
+  /// Full line protocol: request line in, response line out. Query lines
+  /// go through Submit; "ADMIN <VERB>" lines are operator commands
+  /// (RETRAIN kicks a background copy-train-swap via the retrain hook,
+  /// STATS answers a one-line counter snapshot).
   std::string HandleLine(std::string_view line);
+
+  /// A background model update: train a replacement off to the side and
+  /// publish it, e.g. Trainer::TrainClone + MscnEstimator::SwapModel on
+  /// this server's estimator. Runs on a server-owned background thread —
+  /// never on a lane and never under any server lock, so serving continues
+  /// uninterrupted for the whole retrain. Return OK iff the swap was
+  /// published. At most one retrain is in flight at a time ("ADMIN
+  /// RETRAIN" answers Unavailable while one runs).
+  using RetrainFn = std::function<Status()>;
+  void set_retrain_fn(RetrainFn fn);
+  bool retrain_in_flight() const {
+    return retrain_in_flight_.load(std::memory_order_acquire);
+  }
 
   /// Stops admission, drains every accepted request through the lanes,
   /// joins them. Idempotent; also run by the destructor. After Shutdown,
@@ -144,6 +168,8 @@ class EstimatorServer {
   };
 
   void LaneLoop(LaneStats* stats);
+  std::string HandleAdmin(std::string_view text);
+  std::string FormatStatsLine();
 
   MscnEstimator* estimator_;
   const Schema* schema_;
@@ -156,11 +182,23 @@ class EstimatorServer {
   std::mutex shutdown_mu_;  // Serializes Shutdown with itself.
   std::atomic<bool> stopping_{false};
 
+  // Retrain orchestration: the hook, the single background thread running
+  // it, and the in-flight flag are all guarded by admin_mu_ (the thread
+  // itself takes no server lock).
+  std::mutex admin_mu_;
+  RetrainFn retrain_fn_;
+  std::thread retrain_thread_;
+  std::atomic<bool> retrain_in_flight_{false};
+
   std::atomic<uint64_t> received_{0};
   std::atomic<uint64_t> rejected_malformed_{0};
   std::atomic<uint64_t> rejected_overload_{0};
   std::atomic<uint64_t> rejected_shutdown_{0};
   std::atomic<uint64_t> admission_hits_{0};
+  std::atomic<uint64_t> admin_requests_{0};
+  std::atomic<uint64_t> retrains_started_{0};
+  std::atomic<uint64_t> retrains_failed_{0};
+  std::atomic<uint64_t> model_swaps_{0};
 };
 
 }  // namespace serve

@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <ctime>
 #include <iostream>
+
+#include "util/env.h"
 
 namespace lc {
 
@@ -27,9 +28,11 @@ const char* LevelName(LogLevel level) {
 }
 
 LogLevel InitialLevel() {
-  const char* env = std::getenv("LC_LOG_LEVEL");
-  if (env == nullptr) return LogLevel::kInfo;
-  const int value = std::atoi(env);
+  // Through the strict GetEnvInt path like every other LC_* knob: garbage
+  // ("2x", "warn") falls back to the default instead of atoi-truncating to
+  // a level the operator never asked for.
+  const int64_t value =
+      GetEnvInt("LC_LOG_LEVEL", static_cast<int64_t>(LogLevel::kInfo));
   if (value < 0 || value > 4) return LogLevel::kInfo;
   return static_cast<LogLevel>(value);
 }

@@ -27,7 +27,8 @@ struct CacheCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
-  uint64_t evictions = 0;
+  uint64_t evictions = 0;      // Capacity pressure (LRU tail dropped).
+  uint64_t invalidations = 0;  // LookupValid retired a stale entry.
 
   uint64_t lookups() const { return hits + misses; }
   double HitRate() const {
@@ -74,8 +75,10 @@ class ShardedLruCache {
   /// Lookup that serves an entry only while `valid(entry)` holds: an entry
   /// failing the predicate is erased under the same shard lock (it could
   /// never be served again, so keeping it would pin capacity) and the
-  /// lookup counts as a miss plus an eviction. Used by the estimator cache
-  /// to retire estimates of a superseded model weight revision atomically
+  /// lookup counts as a miss plus an invalidation — the `invalidations`
+  /// counter is how lazy stale-entry retirement is observable (capacity
+  /// evictions are counted separately). Used by the estimator cache to
+  /// retire estimates of a superseded model weight revision atomically
   /// with the lookup that discovers them. `count_miss=false` makes the
   /// lookup a peek: hits (and stale evictions) still count, but an absent
   /// or stale key does not inflate the miss counter — for probe-then-
@@ -95,7 +98,7 @@ class ShardedLruCache {
       }
       shard.order.erase(it->second);
       shard.index.erase(it);
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
     }
     if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -154,6 +157,7 @@ class ShardedLruCache {
     counters.misses = misses_.load(std::memory_order_relaxed);
     counters.insertions = insertions_.load(std::memory_order_relaxed);
     counters.evictions = evictions_.load(std::memory_order_relaxed);
+    counters.invalidations = invalidations_.load(std::memory_order_relaxed);
     return counters;
   }
 
@@ -177,6 +181,7 @@ class ShardedLruCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace lc

@@ -1,7 +1,11 @@
 #include "util/str.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace lc {
 
@@ -88,6 +92,61 @@ std::string HumanNumber(double value) {
   if (magnitude >= 100.0) return Format("%.0f", value);
   if (magnitude >= 10.0) return Format("%.1f", value);
   return Format("%.2f", value);
+}
+
+Status ParseInt32(std::string_view text, int32_t min_value, int32_t* out) {
+  // strtoll needs a NUL terminator; the pieces parsed here are short.
+  const std::string piece(text);
+  // strtoll itself is lenient about leading whitespace and '+'; whole-
+  // piece discipline means the first byte must already be the number.
+  if (piece.empty() ||
+      !(std::isdigit(static_cast<unsigned char>(piece[0])) ||
+        piece[0] == '-')) {
+    return Status::InvalidArgument("bad integer: '" + piece + "'");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(piece.c_str(), &end, 10);
+  if (end != piece.c_str() + piece.size()) {
+    return Status::InvalidArgument("bad integer: '" + piece + "'");
+  }
+  if (errno == ERANGE || value < min_value ||
+      value > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument("integer out of range: '" + piece + "'");
+  }
+  *out = static_cast<int32_t>(value);
+  return Status::OK();
+}
+
+Status ParseDouble(std::string_view text, double* out) {
+  const std::string piece(text);
+  // Plain decimal syntax only: strtod additionally accepts leading
+  // whitespace/'+', hex floats ("0x1p-1") and inf/nan spellings, all of
+  // which whole-piece discipline for untrusted text must reject.
+  if (piece.empty() ||
+      !(std::isdigit(static_cast<unsigned char>(piece[0])) ||
+        piece[0] == '-' || piece[0] == '.')) {
+    return Status::InvalidArgument("bad number: '" + piece + "'");
+  }
+  for (char c : piece) {
+    const bool allowed = std::isdigit(static_cast<unsigned char>(c)) ||
+                         c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                         c == '-';
+    if (!allowed) {
+      return Status::InvalidArgument("bad number: '" + piece + "'");
+    }
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(piece.c_str(), &end);
+  if (end != piece.c_str() + piece.size()) {
+    return Status::InvalidArgument("bad number: '" + piece + "'");
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    return Status::InvalidArgument("number out of range: '" + piece + "'");
+  }
+  *out = value;
+  return Status::OK();
 }
 
 }  // namespace lc

@@ -6,9 +6,12 @@
 #define LC_UTIL_STR_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/status.h"
 
 namespace lc {
 
@@ -36,6 +39,19 @@ std::string HumanSeconds(double seconds);
 /// Formats a cardinality/q-error for the report tables: trims trailing
 /// zeros, switches to scientific notation for very large magnitudes.
 std::string HumanNumber(double value);
+
+/// Strict int32 parse for untrusted text: the whole piece must be one
+/// decimal integer within [min_value, INT32_MAX]. Unlike atoi/atol it
+/// rejects empty fields, leading whitespace or '+', trailing garbage
+/// ("1x"), and out-of-range values (InvalidArgument) instead of
+/// truncating silently. Shared by the query deserializer (exec/query.cc,
+/// which maps the code to Corruption) and the JOB-light spec parser.
+Status ParseInt32(std::string_view text, int32_t min_value, int32_t* out);
+
+/// Strict finite-double parse with the same whole-piece discipline:
+/// rejects empty fields, leading whitespace or '+', trailing garbage,
+/// overflow, and the lenient strtod extras (hex floats, inf/nan).
+Status ParseDouble(std::string_view text, double* out);
 
 }  // namespace lc
 

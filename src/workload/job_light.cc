@@ -1,6 +1,7 @@
 #include "workload/job_light.h"
 
 #include <cmath>
+#include <limits>
 
 #include "db/column.h"
 #include "util/check.h"
@@ -102,17 +103,28 @@ StatusOr<Query> ParseJobLightSpec(const Database& db,
           predicate.op = CompareOp::kGt;
           break;
       }
+      // Strict literal parsing (the same bug class the serving path fixed
+      // in exec/query.cc): atol/atof would silently truncate out-of-range
+      // values and accept trailing garbage, mislabeling the workload line
+      // instead of rejecting it.
       const std::string literal_text = Trim(text.substr(op_pos + 1));
       if (!literal_text.empty() && literal_text[0] == '@') {
         // Fractional literal: min + f * (max - min) of the column.
-        const double fraction = std::atof(literal_text.c_str() + 1);
+        double fraction = 0.0;
+        LC_RETURN_IF_ERROR(
+            ParseDouble(literal_text.substr(1), &fraction));
+        if (fraction < 0.0 || fraction > 1.0) {
+          return Status::InvalidArgument("fractional literal outside [0,1]: " +
+                                         literal_text);
+        }
         const Column& data = db.table(table).column(column);
         predicate.literal = static_cast<int32_t>(std::lround(
             data.min_value() +
             fraction * (data.max_value() - data.min_value())));
       } else {
-        predicate.literal =
-            static_cast<int32_t>(std::atol(literal_text.c_str()));
+        LC_RETURN_IF_ERROR(
+            ParseInt32(literal_text, std::numeric_limits<int32_t>::min(),
+                       &predicate.literal));
       }
       query.predicates.push_back(predicate);
     }

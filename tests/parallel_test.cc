@@ -336,7 +336,38 @@ TEST(ShardedLruCacheTest, HitMissAndEviction) {
   EXPECT_EQ(counters.evictions, 1u);
   EXPECT_EQ(counters.hits, 3u);
   EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.invalidations, 0u);
   EXPECT_GT(counters.HitRate(), 0.5);
+}
+
+TEST(ShardedLruCacheTest, LookupValidRetiresStaleEntriesIndividually) {
+  // The lazy-retirement primitive under copy-train-swap: a stale entry is
+  // erased by the lookup that discovers it (counted as an invalidation,
+  // distinct from capacity evictions) — there is no global wipe.
+  ShardedLruCache<int, int> cache(8, /*num_shards=*/1);
+  for (int key = 0; key < 4; ++key) cache.Insert(key, 100 + key);
+
+  const auto is_even = [](const int& value) { return value % 2 == 0; };
+  int value = 0;
+  ASSERT_TRUE(cache.LookupValid(0, &value, is_even));
+  EXPECT_EQ(value, 100);
+  // 101 fails the predicate: retired at this lookup, counted as a miss
+  // plus an invalidation, and gone afterwards (a re-insert is fresh).
+  EXPECT_FALSE(cache.LookupValid(1, &value, is_even));
+  EXPECT_EQ(cache.size(), 3u);
+  cache.Insert(1, 200);
+  ASSERT_TRUE(cache.LookupValid(1, &value, is_even));
+  EXPECT_EQ(value, 200);
+  // Peek mode (count_miss=false) still retires but does not count a miss.
+  EXPECT_FALSE(cache.LookupValid(3, &value, is_even, /*count_miss=*/false));
+  EXPECT_EQ(cache.size(), 3u);
+
+  const CacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.invalidations, 2u);
+  EXPECT_EQ(counters.evictions, 0u)
+      << "stale retirements must not masquerade as capacity evictions";
+  EXPECT_EQ(counters.hits, 2u);
+  EXPECT_EQ(counters.misses, 1u);
 }
 
 TEST(ShardedLruCacheTest, ConcurrentMixedWorkloadStaysConsistent) {

@@ -10,7 +10,12 @@
 //    same queries;
 //  - protocol: malformed input produces ERR lines, never a crash;
 //  - invalidation: ContinueTraining racing with concurrent lookups never
-//    serves a pre-retrain estimate as fresh (run under TSan in CI).
+//    serves a pre-retrain estimate as fresh (run under TSan in CI);
+//  - copy-train-swap: a background TrainClone + SwapModel (driven through
+//    the ADMIN RETRAIN verb) racing live traffic never exposes a torn
+//    model — every response bit-matches a direct EstimateAll against
+//    exactly one of the two published revisions — and post-swap cache
+//    entries retire lazily, not via a global wipe (run under TSan in CI).
 
 #include <atomic>
 #include <cstdlib>
@@ -357,6 +362,170 @@ TEST_F(ServeTest, RetrainConcurrentWithLookupsNeverServesStaleEstimates) {
   // The retrain moved the weights, so serving identical estimates across
   // the board would mean the cache never invalidated.
   EXPECT_GT(changed, 0u);
+}
+
+// The copy-train-swap tentpole: a background clone-train-swap (kicked via
+// the ADMIN RETRAIN protocol verb) races live traffic. Under TSan in CI
+// this exercises the SwapHandle publication, the revision advance, and the
+// per-entry retirement; functionally it asserts
+//  (a) no torn model: every served estimate bit-matches a direct
+//      EstimateAll against exactly one of the two revisions,
+//  (b) traffic keeps flowing while the retrain is in flight (no request
+//      blocks on training),
+//  (c) stale entries retire lazily (invalidation counter, no wipe), and
+//  (d) after the swap, serving converges to the new model's bits.
+TEST_F(ServeTest, CopyTrainSwapNeverServesTornModelAndRetiresLazily) {
+  auto live = std::make_shared<MscnModel>(*model_);
+  MscnEstimator estimator(featurizer_, live, "MSCN",
+                          /*cache_capacity=*/256);
+  MscnConfig config;
+  config.hidden_units = 16;
+  config.epochs = 1;
+  config.batch_size = 32;
+  config.seed = 7;
+  Trainer trainer(featurizer_, config);
+
+  const size_t kCount = 40;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(kCount);
+  // Ground truth per revision, from cache-free estimators: the old model's
+  // bits now, the new model's bits after the swap below.
+  std::vector<double> before(kCount);
+  {
+    MscnEstimator direct(featurizer_, live, "direct", /*cache_capacity=*/0);
+    before = direct.EstimateAll(pointers, 8);
+  }
+
+  serve::ServerConfig server_config;
+  server_config.lanes = 2;
+  server_config.queue_capacity = 64;
+  server_config.max_batch = 8;
+  server_config.window_us = 50;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_,
+                                server_config);
+  std::atomic<size_t> traffic{0};  // Requests served since the kick.
+  server.set_retrain_fn([&] {
+    // Hold the retrain window open until a few requests have demonstrably
+    // been served inside it — makes the "no request blocks on training"
+    // assertion below deterministic instead of racing a fast train.
+    while (traffic.load(std::memory_order_acquire) < 5) {
+      std::this_thread::yield();
+    }
+    auto fresh =
+        trainer.TrainClone(*estimator.model_snapshot(), pointers, {}, 1,
+                           nullptr);
+    estimator.SwapModel(std::move(fresh));
+    return Status::OK();
+  });
+
+  // Warm a few entries so the swap has something to retire.
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(server.Submit(pointers[i]->query.Serialize()).status.ok());
+  }
+
+  const std::string kicked = server.HandleLine("ADMIN RETRAIN");
+  ASSERT_TRUE(StartsWith(kicked, "OK")) << kicked;
+
+  // Drive traffic until the background retrain publishes its swap. Every
+  // response must be a whole-model estimate; torn reads would produce a
+  // value belonging to neither revision. Served-while-training counts
+  // prove no request waited for the retrain to finish.
+  size_t served_during_retrain = 0;
+  std::vector<serve::Response> responses;
+  std::vector<size_t> picks;
+  size_t i = 0;
+  while (server.retrain_in_flight()) {
+    const size_t pick = i++ % kCount;
+    const serve::Response response =
+        server.Submit(pointers[pick]->query.Serialize());
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    ++served_during_retrain;
+    traffic.fetch_add(1, std::memory_order_release);
+    responses.push_back(response);
+    picks.push_back(pick);
+  }
+  EXPECT_GT(served_during_retrain, 0u)
+      << "no request completed while the clone was training — traffic "
+         "stalled on the retrain";
+  EXPECT_EQ(server.GetStats().model_swaps, 1u);
+
+  std::vector<double> after(kCount);
+  {
+    MscnEstimator direct(featurizer_, estimator.model_snapshot(), "direct",
+                         /*cache_capacity=*/0);
+    after = direct.EstimateAll(pointers, 8);
+  }
+  size_t changed = 0;
+  for (size_t j = 0; j < kCount; ++j) {
+    if (before[j] != after[j]) ++changed;
+  }
+  ASSERT_GT(changed, 0u) << "the retrain did not move the weights; the "
+                            "torn-model assertion below would be vacuous";
+
+  for (size_t j = 0; j < responses.size(); ++j) {
+    const double estimate = responses[j].estimate;
+    EXPECT_TRUE(estimate == before[picks[j]] || estimate == after[picks[j]])
+        << "request " << j << " observed a torn model: " << estimate
+        << " matches neither revision (" << before[picks[j]] << " / "
+        << after[picks[j]] << ")";
+  }
+
+  // Post-swap, lookups retire the warmed pre-swap entries one by one (the
+  // invalidation counter, not a wipe) and serving settles on the new
+  // model's bits exactly.
+  for (size_t j = 0; j < kCount; ++j) {
+    const serve::Response response =
+        server.Submit(pointers[j]->query.Serialize());
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(response.estimate, after[j])
+        << "post-swap serving diverged from the new model at query " << j;
+  }
+  const serve::Stats stats = server.GetStats();
+  EXPECT_GT(stats.stale_retirements, 0u)
+      << "no stale entry was lazily retired — was the cache wiped?";
+  EXPECT_EQ(stats.retrains_started, 1u);
+  EXPECT_EQ(stats.retrains_failed, 0u);
+}
+
+TEST_F(ServeTest, AdminProtocolVerbs) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/0);
+  serve::ServerConfig config;
+  config.lanes = 1;
+  config.window_us = 0;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+
+  // STATS always answers one OK line.
+  const std::string stats_line = server.HandleLine("ADMIN STATS");
+  EXPECT_TRUE(StartsWith(stats_line, "OK ")) << stats_line;
+  EXPECT_NE(stats_line.find("swaps="), std::string::npos) << stats_line;
+
+  // RETRAIN without a hook is a typed error, not a crash.
+  EXPECT_TRUE(StartsWith(server.HandleLine("ADMIN RETRAIN"),
+                         "ERR Unimplemented"));
+  // Unknown or malformed admin input is rejected like any hostile line.
+  EXPECT_TRUE(StartsWith(server.HandleLine("ADMIN BOGUS"),
+                         "ERR InvalidArgument"));
+  EXPECT_TRUE(StartsWith(server.HandleLine("ADMIN "),
+                         "ERR InvalidArgument"));
+  EXPECT_TRUE(StartsWith(server.HandleLine("ADMIN retrain now"),
+                         "ERR InvalidArgument"));
+
+  // Only one retrain may be in flight: with a hook that blocks until
+  // released, the second RETRAIN answers Unavailable instead of queueing.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  server.set_retrain_fn([released] {
+    released.wait();
+    return Status::OK();
+  });
+  EXPECT_TRUE(StartsWith(server.HandleLine("ADMIN RETRAIN"), "OK"));
+  EXPECT_TRUE(StartsWith(server.HandleLine("ADMIN RETRAIN"),
+                         "ERR Unavailable"));
+  release.set_value();
+  while (server.retrain_in_flight()) std::this_thread::yield();
+  const serve::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.retrains_started, 1u);
+  EXPECT_EQ(stats.model_swaps, 1u);
+  EXPECT_EQ(stats.admin_requests, 7u);
 }
 
 }  // namespace

@@ -285,6 +285,30 @@ TEST(JobLightTest, ParserRejectsBadSpecs) {
   EXPECT_FALSE(ParseJobLightSpec(f.db, "mc; kind_id 1").ok());
 }
 
+TEST(JobLightTest, ParserRejectsMalformedLiteralsStrictly) {
+  // The same bug class exec/query.cc fixed for the serving path: atol/atof
+  // silently truncated out-of-range literals and accepted trailing
+  // garbage, mislabeling the workload line instead of rejecting it.
+  Fixture f;
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mc; t.kind_id=").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mc; t.kind_id=1x").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mc; t.kind_id=1 2").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mc; t.kind_id=99999999999").ok());
+  // Fractional literals: strict parse, and the fraction must land in
+  // [0, 1] (it interpolates the column domain).
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mk; mk.keyword_id=@").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mk; mk.keyword_id=@0.5x").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mk; mk.keyword_id=@ 0.5").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mk; mk.keyword_id=@0x1p-1").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mk; mk.keyword_id=@-0.5").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mk; mk.keyword_id=@1.5").ok());
+  EXPECT_FALSE(ParseJobLightSpec(f.db, "mk; mk.keyword_id=@nan").ok());
+  // Still-valid forms keep parsing.
+  EXPECT_TRUE(ParseJobLightSpec(f.db, "mc; t.kind_id=1").ok());
+  EXPECT_TRUE(ParseJobLightSpec(f.db, "mc; t.production_year>-5").ok());
+  EXPECT_TRUE(ParseJobLightSpec(f.db, "mk; mk.keyword_id=@0.25").ok());
+}
+
 TEST(JobLightTest, MostQueriesHaveNonZeroCardinality) {
   // JOB-light queries should mostly be satisfiable on the synthetic data;
   // a few zero results are tolerated (the paper keeps them too).
