@@ -20,16 +20,33 @@
 // the headline number of BENCH_pr5_swap.json. A separate cache-on pass
 // checks lazy stale-entry retirement and the post-swap bit-match gate.
 //
+// Socket-transport mode (PR 6): `serve_load --transport=socket` drives the
+// same workload through the real network stack (serve/net: unix-domain
+// socket, epoll event loop, line framing) instead of in-process Submit.
+// Hundreds of concurrent connections (LC_SERVE_LOAD_CONNS, default 256)
+// each keep a pipelined window of requests on the wire
+// (LC_SERVE_LOAD_PIPELINE, default 8), and EVERY response is gated
+// bit-identical to a direct EstimateAll — the transport cannot change the
+// bits. Recorded in BENCH_pr6_socket.json.
+//
 // Knobs: LC_SERVE_LOAD_REQUESTS (default 20000), LC_SERVE_LOAD_CLIENTS (8),
 // LC_SERVE_LOAD_DISTINCT (512), LC_SERVE_LOAD_RETRAIN (1 = run the retrain
-// modes), LC_SERVE_LOAD_RETRAIN_QUERIES (2000), LC_SERVE_LOAD_RETRAIN_EPOCHS
-// (2), plus the server's own LC_SERVE_* set.
+// modes), LC_SERVE_LOAD_CONNS (256) and LC_SERVE_LOAD_PIPELINE (8) for
+// --transport=socket, LC_SERVE_LOAD_RETRAIN_QUERIES (2000),
+// LC_SERVE_LOAD_RETRAIN_EPOCHS (2), plus the server's own LC_SERVE_* set.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -37,6 +54,7 @@
 
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "serve/net/socket_server.h"
 #include "serve/server.h"
 #include "util/check.h"
 #include "util/env.h"
@@ -237,6 +255,212 @@ void PrintRetrainJson(std::ostream& os, const char* name,
       static_cast<unsigned long long>(result.stats.retrains_started));
 }
 
+// ---- Socket transport mode -----------------------------------------------
+
+// One pipelined client connection: a blocking fd plus a buffered line
+// reader and the in-flight bookkeeping (which query each outstanding
+// request picked, and when its burst hit the wire).
+struct PipelinedConn {
+  int fd = -1;
+  std::string buffer;
+  std::vector<size_t> picks;   // Query index per in-flight request, FIFO.
+  lc::WallTimer burst_timer;   // Started when the burst was written.
+  size_t sent = 0;             // Requests written over the lifetime.
+
+  void Connect(const std::string& path) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    LC_CHECK(fd >= 0) << "socket: " << std::strerror(errno);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    LC_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0)
+        << "connect(" << path << "): " << std::strerror(errno);
+  }
+  void SendAll(std::string_view bytes) {
+    size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+                               MSG_NOSIGNAL);
+      LC_CHECK(n > 0) << "send: " << std::strerror(errno);
+      done += static_cast<size_t>(n);
+    }
+  }
+  std::string ReadLine() {
+    while (true) {
+      const size_t newline = buffer.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      LC_CHECK(n > 0) << "recv: "
+                      << (n == 0 ? "unexpected EOF" : std::strerror(errno));
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+  }
+  void Close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+};
+
+struct SocketLoadResult {
+  double seconds = 0.0;
+  double throughput_qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  size_t requests = 0;
+  lc::serve::Stats stats;
+  lc::serve::net::SocketServer::NetStats net;
+};
+
+// Closed-loop over the wire: `conns` connections stay established for the
+// whole run, partitioned across `clients` worker threads. Each round a
+// thread writes a pipelined burst on EVERY one of its connections before
+// reading any responses back, so at the burst peak all `conns` connections
+// have `pipeline` requests in flight simultaneously. Every response is
+// LC_CHECKed bit-identical to `expected` for the query it answered —
+// framing, pipelining and the event loop must not change the bits (or the
+// order).
+SocketLoadResult RunSocketLoad(lc::MscnEstimator* estimator,
+                               const lc::Schema& schema,
+                               const lc::SampleSet& samples,
+                               const std::vector<std::string>& texts,
+                               const std::vector<double>& expected,
+                               size_t total_requests, int clients,
+                               size_t conns, size_t pipeline) {
+  // The whole point is conns * pipeline requests in flight at once; size
+  // admission for that window so the bench measures the transport, not
+  // overload shedding (which would fail the bit-match gate with ERR lines).
+  lc::serve::ServerConfig server_config = lc::serve::ServerConfig::FromEnv();
+  server_config.queue_capacity =
+      std::max(server_config.queue_capacity, conns * pipeline);
+  lc::serve::EstimatorServer server(estimator, &schema, &samples,
+                                    server_config);
+  const std::string path =
+      "/tmp/lc_serve_load_" + std::to_string(::getpid()) + ".sock";
+  lc::serve::net::SocketServerConfig net_config;
+  net_config.listen = {"unix:" + path};
+  net_config.idle_timeout_ms = 0;
+  net_config.stats_interval_ms = 0;
+  net_config.backend = lc::GetEnvString("LC_SERVE_EVENT_BACKEND", "");
+  lc::serve::net::SocketServer net(&server, net_config);
+  const lc::Status started = net.Start();
+  LC_CHECK(started.ok()) << started;
+
+  const size_t rounds =
+      std::max<size_t>(1, (total_requests + conns * pipeline - 1) /
+                              (conns * pipeline));
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  std::atomic<size_t> bit_mismatches{0};
+
+  lc::WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int client = 0; client < clients; ++client) {
+    threads.emplace_back([&, client] {
+      const size_t begin = conns * static_cast<size_t>(client) /
+                           static_cast<size_t>(clients);
+      const size_t end = conns * static_cast<size_t>(client + 1) /
+                         static_cast<size_t>(clients);
+      std::vector<PipelinedConn> mine(end - begin);
+      for (size_t c = 0; c < mine.size(); ++c) mine[c].Connect(path);
+      std::vector<double>& lat = latencies[static_cast<size_t>(client)];
+      lat.reserve(rounds * mine.size() * pipeline);
+
+      for (size_t round = 0; round < rounds; ++round) {
+        // Burst phase: a pipelined window on every connection first …
+        for (size_t c = 0; c < mine.size(); ++c) {
+          PipelinedConn& conn = mine[c];
+          const size_t conn_id = begin + c;
+          std::string burst;
+          conn.picks.clear();
+          for (size_t k = 0; k < pipeline; ++k) {
+            const size_t pick =
+                ((conn.sent + k) * 2654435761ULL + conn_id * 97ULL) %
+                texts.size();
+            conn.picks.push_back(pick);
+            burst += texts[pick];
+            burst += '\n';
+          }
+          conn.burst_timer = lc::WallTimer();
+          conn.SendAll(burst);
+          conn.sent += pipeline;
+        }
+        // … then the harvest: responses come back in request order.
+        for (PipelinedConn& conn : mine) {
+          for (const size_t pick : conn.picks) {
+            const std::string line = conn.ReadLine();
+            lat.push_back(conn.burst_timer.Seconds() * 1e6);
+            if (!lc::StartsWith(line, "EST ") ||
+                std::strtod(line.c_str() + 4, nullptr) != expected[pick]) {
+              bit_mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+      for (PipelinedConn& conn : mine) conn.Close();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  SocketLoadResult result;
+  result.seconds = wall.Seconds();
+  result.stats = server.GetStats();
+  result.net = net.net_stats();
+  net.Shutdown();
+  server.Shutdown();
+  LC_CHECK(bit_mismatches.load() == 0)
+      << bit_mismatches.load()
+      << " socket responses diverged from direct EstimateAll";
+
+  std::vector<double> all;
+  for (const std::vector<double>& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  result.requests = all.size();
+  LC_CHECK(result.requests == rounds * conns * pipeline);
+  result.throughput_qps = static_cast<double>(all.size()) / result.seconds;
+  result.p50_us = lc::Quantile(all, 0.50);
+  result.p95_us = lc::Quantile(all, 0.95);
+  result.p99_us = lc::Quantile(all, 0.99);
+  result.mean_us = lc::Mean(all);
+  return result;
+}
+
+void PrintSocketRow(const char* name, const SocketLoadResult& result) {
+  std::cout << lc::Format(
+      "%-12s %10.0f qps %10.1f us %10.1f us %10.1f us %10.1f us\n", name,
+      result.throughput_qps, result.p50_us, result.p95_us, result.p99_us,
+      result.mean_us);
+}
+
+void PrintSocketJson(std::ostream& os, const char* name,
+                     const SocketLoadResult& result, size_t conns,
+                     size_t pipeline) {
+  os << lc::Format(
+      "    \"%s\": { \"seconds\": %.3f, \"throughput_qps\": %.0f, "
+      "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+      "\"mean_us\": %.1f, \"requests\": %zu, \"conns\": %zu, "
+      "\"pipeline\": %zu, \"served\": %llu, \"admission_cache_hits\": %llu, "
+      "\"model_batches\": %llu, \"mean_batch\": %.2f, \"lines_in\": %llu, "
+      "\"responses_out\": %llu, \"read_pauses\": %llu }",
+      name, result.seconds, result.throughput_qps, result.p50_us,
+      result.p95_us, result.p99_us, result.mean_us, result.requests, conns,
+      pipeline, static_cast<unsigned long long>(result.stats.served),
+      static_cast<unsigned long long>(result.stats.admission_cache_hits),
+      static_cast<unsigned long long>(result.stats.model_batches),
+      result.stats.batch_size.mean(),
+      static_cast<unsigned long long>(result.net.lines_in),
+      static_cast<unsigned long long>(result.net.responses_out),
+      static_cast<unsigned long long>(result.net.read_pauses));
+}
+
 void PrintRow(const char* name, const LoadResult& result) {
   std::cout << lc::Format(
       "%-12s %10.0f qps %10.1f us %10.1f us %10.1f us %10.1f us\n", name,
@@ -264,9 +488,25 @@ void PrintJson(std::ostream& os, const char* name, const LoadResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool socket_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--transport=socket") {
+      socket_mode = true;
+    } else if (arg == "--transport=direct") {
+      socket_mode = false;
+    } else {
+      std::cerr << "unknown flag: " << arg
+                << " (supported: --transport=direct|socket)\n";
+      return 2;
+    }
+  }
+
   lc::Experiment experiment;
-  std::cout << "=== Serving front-end: closed-loop load ===\n";
+  std::cout << (socket_mode
+                    ? "=== Serving front-end: socket-transport load ===\n"
+                    : "=== Serving front-end: closed-loop load ===\n");
   experiment.PrintSetup(std::cout);
 
   const size_t total_requests = static_cast<size_t>(
@@ -301,6 +541,48 @@ int main() {
 
   const lc::serve::ServerConfig server_config =
       lc::serve::ServerConfig::FromEnv();
+
+  if (socket_mode) {
+    const size_t conns = static_cast<size_t>(
+        std::max<int64_t>(1, lc::GetEnvInt("LC_SERVE_LOAD_CONNS", 256)));
+    const size_t pipeline = static_cast<size_t>(
+        std::max<int64_t>(1, lc::GetEnvInt("LC_SERVE_LOAD_PIPELINE", 8)));
+    std::cout << lc::Format(
+        "requests=%zu clients=%d conns=%zu pipeline=%zu distinct=%zu | "
+        "lanes=%d batch=%zu window=%lldus\n\n",
+        total_requests, clients, conns, pipeline, distinct,
+        server_config.lanes, server_config.max_batch,
+        static_cast<long long>(server_config.window_us));
+    std::cout << lc::Format("%-12s %14s %13s %13s %13s %13s\n", "cache",
+                            "throughput", "p50", "p95", "p99", "mean");
+
+    lc::MscnEstimator sock_off(&featurizer, &model, "MSCN",
+                               /*cache_capacity=*/0);
+    const SocketLoadResult off_result =
+        RunSocketLoad(&sock_off, schema, samples, texts, expected,
+                      total_requests, clients, conns, pipeline);
+    PrintSocketRow("off", off_result);
+
+    lc::MscnEstimator sock_on(&featurizer, &model, "MSCN+cache",
+                              /*cache_capacity=*/-1);
+    const SocketLoadResult on_result =
+        RunSocketLoad(&sock_on, schema, samples, texts, expected,
+                      total_requests, clients, conns, pipeline);
+    PrintSocketRow("on", on_result);
+
+    std::cout << lc::Format(
+        "\nbit-match: all %zu responses over %zu concurrent connections "
+        "identical to direct EstimateAll (cache on and off)\n",
+        off_result.requests + on_result.requests, conns);
+    std::cout << "\nJSON fragment for BENCH records:\n{\n";
+    PrintSocketJson(std::cout, "socket_cache_off", off_result, conns,
+                    pipeline);
+    std::cout << ",\n";
+    PrintSocketJson(std::cout, "socket_cache_on", on_result, conns, pipeline);
+    std::cout << "\n}\n";
+    return 0;
+  }
+
   std::cout << lc::Format(
       "requests=%zu clients=%d distinct=%zu | lanes=%d queue=%zu batch=%zu "
       "window=%lldus\n\n",

@@ -1,0 +1,263 @@
+#include "serve/net/connection.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lc {
+namespace serve {
+namespace net {
+
+Connection::Connection(int fd, EventLoop* loop, EstimatorServer* server,
+                       Options options, NetCounters* counters,
+                       std::function<void(int fd)> on_close)
+    : fd_(fd),
+      loop_(loop),
+      server_(server),
+      options_(options),
+      counters_(counters),
+      on_close_(std::move(on_close)),
+      framer_(options.max_line),
+      last_activity_(std::chrono::steady_clock::now()) {
+  LC_CHECK_GE(fd, 0);
+}
+
+Connection::~Connection() {
+  // Normal teardown goes through Close(); this only covers a connection
+  // destroyed without ever being closed (server torn down mid-flight).
+  if (!closed_) close(fd_);
+}
+
+Status Connection::Register() {
+  auto self = shared_from_this();
+  // The handler pins the connection for the duration of each event, so a
+  // Close() from inside OnEvent never frees the object under its own feet.
+  return loop_->Watch(fd_, /*want_read=*/true, /*want_write=*/false,
+                      [self](const PollEvent& event) { self->OnEvent(event); });
+}
+
+void Connection::OnEvent(const PollEvent& event) {
+  if (closed_) return;
+  if (event.readable || event.error) {
+    if (!DrainSocketReads()) return;  // Closed on a hard error.
+  }
+  FlushReady();
+  if (closed_) return;
+  if (event.writable) {
+    TryWrite();
+    if (closed_) return;
+  }
+  if (event.error && !read_eof_) {
+    // Error with nothing readable and the reads still open: the socket is
+    // dead (e.g. EPOLLHUP on a reset connection with an empty buffer).
+    Close();
+    return;
+  }
+  UpdateInterest();
+}
+
+bool Connection::DrainSocketReads() {
+  if (read_eof_ || read_paused_) return true;
+  char buffer[16384];
+  while (true) {
+    ssize_t n;
+    do {
+      n = read(fd_, buffer, sizeof(buffer));
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      last_activity_ = std::chrono::steady_clock::now();
+      std::vector<LineFramer::Event> events;
+      framer_.Feed(std::string_view(buffer, static_cast<size_t>(n)),
+                   &events);
+      for (LineFramer::Event& event : events) {
+        if (event.kind == LineFramer::Event::Kind::kOversize) {
+          // One ERR per oversize line, issued the moment the limit is
+          // crossed; its slot keeps the response order aligned with the
+          // request order even though the line never completed normally.
+          counters_->oversize_lines.fetch_add(1, std::memory_order_relaxed);
+          uint64_t id;
+          {
+            std::lock_guard<std::mutex> lock(slots_mu_);
+            slots_.emplace_back();
+            id = next_id_++;
+          }
+          Response response;
+          response.status = Status::InvalidArgument(
+              Format("request line exceeds the %zu byte limit",
+                     framer_.max_line()));
+          CompleteSlot(id, FormatResponse(response));
+          continue;
+        }
+        counters_->lines_in.fetch_add(1, std::memory_order_relaxed);
+        DispatchLine(std::move(event.line));
+      }
+      // Dispatching can engage backpressure (a flood of inline cache hits
+      // fills the write buffer); stop framing more input immediately.
+      FlushReady();
+      if (closed_) return false;
+      if (read_paused_) return true;
+      continue;
+    }
+    if (n == 0) {
+      read_eof_ = true;  // Peer finished sending; answer what we owe.
+      return true;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    Close();  // ECONNRESET and friends: nothing left to answer.
+    return false;
+  }
+}
+
+void Connection::DispatchLine(std::string&& line) {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    slots_.emplace_back();
+    id = next_id_++;
+  }
+  auto self = shared_from_this();
+  server_->HandleLineAsync(
+      line, [self, id](std::string response) {
+        self->CompleteSlot(id, std::move(response));
+      });
+}
+
+void Connection::CompleteSlot(uint64_t id, std::string&& response) {
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    LC_CHECK_GE(id, head_id_);
+    Slot& slot = slots_[static_cast<size_t>(id - head_id_)];
+    slot.text = std::move(response);
+    slot.text.push_back('\n');
+    slot.ready = true;
+  }
+  // Hand the flush to the loop thread (completions run on lanes, the
+  // retrain thread, or inline on the loop). The shared_ptr keeps the
+  // connection alive; if it was closed meanwhile the flush is a no-op.
+  auto self = shared_from_this();
+  loop_->Post([self] { self->FlushReady(); });
+}
+
+void Connection::FlushReady() {
+  if (closed_) return;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    while (!slots_.empty() && slots_.front().ready) {
+      out_.append(slots_.front().text);
+      counters_->responses_out.fetch_add(1, std::memory_order_relaxed);
+      slots_.pop_front();
+      ++head_id_;
+    }
+  }
+  TryWrite();
+  if (closed_) return;
+  if (read_eof_ && out_offset_ == out_.size() && PendingSlots() == 0) {
+    Close();  // Everything owed is on the wire and the peer is done.
+    return;
+  }
+  UpdateInterest();
+}
+
+void Connection::TryWrite() {
+  while (out_offset_ < out_.size()) {
+    ssize_t n;
+    do {
+      // MSG_NOSIGNAL: a peer that closed mid-response must surface as
+      // EPIPE, not kill the process with SIGPIPE.
+      n = send(fd_, out_.data() + out_offset_, out_.size() - out_offset_,
+               MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      out_offset_ += static_cast<size_t>(n);
+      last_activity_ = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    Close();  // EPIPE/ECONNRESET: the peer will never read these bytes.
+    return;
+  }
+  if (out_offset_ == out_.size()) {
+    out_.clear();
+    out_offset_ = 0;
+  } else if (out_offset_ > (1u << 20)) {
+    out_.erase(0, out_offset_);
+    out_offset_ = 0;
+  }
+
+  const size_t backlog = out_.size() - out_offset_;
+  if (!read_paused_ && backlog > options_.write_high_water) {
+    // Kernel buffer full and a high-water backlog on top: stop framing new
+    // requests from this client until it drains what it already asked for.
+    read_paused_ = true;
+    counters_->read_pauses.fetch_add(1, std::memory_order_relaxed);
+  } else if (read_paused_ && backlog <= options_.write_high_water / 2) {
+    read_paused_ = false;
+  }
+}
+
+void Connection::UpdateInterest() {
+  if (closed_) return;
+  const bool want_read = !read_eof_ && !read_paused_;
+  const bool want_write = out_offset_ < out_.size();
+  if (want_write == want_write_ && want_read == want_read_) return;
+  want_read_ = want_read;
+  want_write_ = want_write;
+  (void)loop_->Update(fd_, want_read, want_write);
+}
+
+void Connection::BeginDrain() {
+  if (closed_ || draining_) return;
+  draining_ = true;
+  // Lines the kernel already buffered were accepted: frame and dispatch
+  // them now so each gets an answer (or the server's typed shutdown
+  // rejection). Bytes of an incomplete trailing line are abandoned — no
+  // response is owed for a line that never completed.
+  read_paused_ = false;
+  if (!DrainSocketReads()) return;
+  read_eof_ = true;
+  FlushReady();  // Closes immediately when nothing is pending.
+}
+
+void Connection::ForceClose() {
+  if (closed_) return;
+  Close();
+}
+
+bool Connection::CloseIfIdle(std::chrono::steady_clock::time_point now,
+                             std::chrono::milliseconds timeout) {
+  if (closed_) return false;
+  const bool owes = PendingSlots() > 0 || out_offset_ < out_.size();
+  if (owes || now - last_activity_ < timeout) return false;
+  counters_->reaped_idle.fetch_add(1, std::memory_order_relaxed);
+  Close();
+  return true;
+}
+
+size_t Connection::PendingSlots() const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  return slots_.size();
+}
+
+void Connection::Close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->Unwatch(fd_);
+  close(fd_);
+  counters_->closed.fetch_add(1, std::memory_order_relaxed);
+  // May release the server's owning reference; `this` can die when the
+  // last in-flight completion drops its shared_ptr, so this stays last.
+  if (on_close_) on_close_(fd_);
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc

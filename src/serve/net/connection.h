@@ -1,0 +1,153 @@
+// One client connection of the socket transport: a non-blocking fd, a
+// LineFramer reassembling request lines from the byte stream, an ordered
+// response-slot queue bridging worker-lane completions back to the event
+// loop, and a buffered writer with read-pausing backpressure.
+//
+// Pipelining contract: every completed request line gets exactly one
+// response line, in arrival order. Requests may FINISH out of order (a
+// cache hit completes inline while an earlier miss waits out a batching
+// window on a lane), so each dispatched line claims a slot in a FIFO and
+// the writer only flushes the longest ready prefix.
+//
+// Threading: everything except the slot queue is owned by the event-loop
+// thread. Completions fill their slot under the slot mutex from whatever
+// thread the server ran the callback on (a lane, the retrain thread, or
+// the loop itself) and then Post() a flush back to the loop — the callback
+// holds a shared_ptr to the connection, so a connection that was closed
+// under an in-flight completion stays alive (and inert: flushes after
+// Close() are no-ops) until the last completion drops it.
+//
+// Backpressure (composes with admission shedding, see
+// docs/ARCHITECTURE.md "Network transport"): when the kernel send buffer
+// stops accepting bytes and the userspace write buffer crosses the
+// high-water mark, the connection stops reading — no new lines are framed,
+// so a client that refuses to read its responses cannot grow the output
+// buffer without bound. The admission queue's typed Unavailable shedding
+// still answers each line that does get framed under overload.
+
+#ifndef LC_SERVE_NET_CONNECTION_H_
+#define LC_SERVE_NET_CONNECTION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/net/event_loop.h"
+#include "serve/net/framing.h"
+
+namespace lc {
+namespace serve {
+
+class EstimatorServer;
+
+namespace net {
+
+/// Transport-level counters shared by all connections of one SocketServer
+/// (relaxed atomics; a consistent-enough snapshot for reporting).
+struct NetCounters {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> reaped_idle{0};
+  std::atomic<uint64_t> lines_in{0};        // Complete request lines framed.
+  std::atomic<uint64_t> responses_out{0};   // Response lines queued to the wire.
+  std::atomic<uint64_t> oversize_lines{0};  // Lines rejected by the framer.
+  std::atomic<uint64_t> read_pauses{0};     // Backpressure engagements.
+};
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  struct Options {
+    size_t max_line = 1 << 16;
+    // Pause reads when the unsent output exceeds this; resume at half.
+    size_t write_high_water = 1 << 20;
+  };
+
+  /// `on_close` runs on the loop thread exactly once, after the fd is
+  /// closed and unwatched — the server uses it to drop its map entry.
+  Connection(int fd, EventLoop* loop, EstimatorServer* server,
+             Options options, NetCounters* counters,
+             std::function<void(int fd)> on_close);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers with the loop; call once, on the loop thread.
+  Status Register();
+
+  /// Server shutdown: harvest whatever the kernel already buffered (those
+  /// lines were accepted and will be answered or typed-rejected), then stop
+  /// reading; the connection closes itself once every claimed slot has
+  /// flushed. Loop thread only.
+  void BeginDrain();
+
+  /// Immediate teardown (drain deadline, server destruction). In-flight
+  /// completions become no-ops. Loop thread only.
+  void ForceClose();
+
+  /// Reap if the connection has been quiet for `timeout` and owes nothing.
+  /// Returns true when it closed. Loop thread only.
+  bool CloseIfIdle(std::chrono::steady_clock::time_point now,
+                   std::chrono::milliseconds timeout);
+
+  bool closed() const { return closed_; }
+  int fd() const { return fd_; }
+
+ private:
+  struct Slot {
+    bool ready = false;
+    std::string text;  // Response line, '\n' already appended.
+  };
+
+  void OnEvent(const PollEvent& event);
+  void OnReadable();
+  // Reads until EAGAIN/EOF and dispatches every completed line. Returns
+  // false when the connection closed itself (error path).
+  bool DrainSocketReads();
+  void DispatchLine(std::string&& line);
+  void CompleteSlot(uint64_t id, std::string&& response);
+  // Moves the ready prefix of the slot queue into the write buffer and
+  // writes as much as the kernel accepts; manages EPOLLOUT interest, the
+  // backpressure pause, and EOF-triggered teardown.
+  void FlushReady();
+  void TryWrite();
+  void UpdateInterest();
+  void Close();
+  size_t PendingSlots() const;
+
+  const int fd_;
+  EventLoop* const loop_;
+  EstimatorServer* const server_;
+  const Options options_;
+  NetCounters* const counters_;
+  std::function<void(int)> on_close_;
+
+  LineFramer framer_;
+  std::string out_;        // Unsent response bytes.
+  size_t out_offset_ = 0;  // Consumed prefix of out_ (compacted lazily).
+
+  bool closed_ = false;
+  bool read_eof_ = false;      // Peer finished sending (or drain stopped reads).
+  bool read_paused_ = false;   // Backpressure: interest dropped, not EOF.
+  bool draining_ = false;
+  bool want_read_ = true;      // Current registered read interest.
+  bool want_write_ = false;    // Current registered write interest.
+  std::chrono::steady_clock::time_point last_activity_;
+
+  // The only cross-thread state: completions fill slots from lane threads.
+  mutable std::mutex slots_mu_;
+  std::deque<Slot> slots_;
+  uint64_t head_id_ = 0;  // Slot id of slots_.front().
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc
+
+#endif  // LC_SERVE_NET_CONNECTION_H_

@@ -1,0 +1,318 @@
+#include "serve/net/event_loop.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lc {
+namespace serve {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(Format("%s: %s", what, strerror(errno)));
+}
+
+#if defined(__linux__)
+
+class EpollPoller : public Poller {
+ public:
+  EpollPoller() : epoll_fd_(epoll_create1(EPOLL_CLOEXEC)) {
+    LC_CHECK_GE(epoll_fd_, 0) << "epoll_create1: " << strerror(errno);
+  }
+  ~EpollPoller() override { close(epoll_fd_); }
+
+  Status Add(int fd, bool want_read, bool want_write) override {
+    return Control(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+  Status Update(int fd, bool want_read, bool want_write) override {
+    return Control(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+  void Remove(int fd) override {
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  int Wait(int timeout_ms, std::vector<PollEvent>* events) override {
+    epoll_event ready[128];
+    int n;
+    do {
+      n = epoll_wait(epoll_fd_, ready, 128, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    LC_CHECK_GE(n, 0) << "epoll_wait: " << strerror(errno);
+    for (int i = 0; i < n; ++i) {
+      PollEvent event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return n;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  Status Control(int op, int fd, bool want_read, bool want_write) {
+    epoll_event event;
+    memset(&event, 0, sizeof(event));
+    event.data.fd = fd;
+    if (want_read) event.events |= EPOLLIN;
+    if (want_write) event.events |= EPOLLOUT;
+    if (epoll_ctl(epoll_fd_, op, fd, &event) != 0) {
+      return ErrnoStatus("epoll_ctl");
+    }
+    return Status::OK();
+  }
+
+  int epoll_fd_;
+};
+
+#endif  // defined(__linux__)
+
+// Portable fallback: a dense pollfd array rebuilt in place on every change.
+// O(watched fds) per wait, fine for the fd counts tests and the fallback
+// path care about; the production path on Linux is epoll.
+class PollPoller : public Poller {
+ public:
+  Status Add(int fd, bool want_read, bool want_write) override {
+    if (index_.count(fd) != 0) {
+      return Status::InvalidArgument(Format("fd %d already watched", fd));
+    }
+    pollfd entry;
+    entry.fd = fd;
+    entry.events = Events(want_read, want_write);
+    entry.revents = 0;
+    index_[fd] = fds_.size();
+    fds_.push_back(entry);
+    return Status::OK();
+  }
+
+  Status Update(int fd, bool want_read, bool want_write) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) {
+      return Status::InvalidArgument(Format("fd %d not watched", fd));
+    }
+    fds_[it->second].events = Events(want_read, want_write);
+    return Status::OK();
+  }
+
+  void Remove(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const size_t slot = it->second;
+    index_.erase(it);
+    if (slot + 1 != fds_.size()) {
+      fds_[slot] = fds_.back();
+      index_[fds_[slot].fd] = slot;
+    }
+    fds_.pop_back();
+  }
+
+  int Wait(int timeout_ms, std::vector<PollEvent>* events) override {
+    int n;
+    do {
+      n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    LC_CHECK_GE(n, 0) << "poll: " << strerror(errno);
+    if (n == 0) return 0;
+    int reported = 0;
+    for (const pollfd& entry : fds_) {
+      if (entry.revents == 0) continue;
+      PollEvent event;
+      event.fd = entry.fd;
+      event.readable = (entry.revents & POLLIN) != 0;
+      event.writable = (entry.revents & POLLOUT) != 0;
+      event.error = (entry.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events->push_back(event);
+      if (++reported == n) break;
+    }
+    return reported;
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  static short Events(bool want_read, bool want_write) {
+    short events = 0;
+    if (want_read) events |= POLLIN;
+    if (want_write) events |= POLLOUT;
+    return events;
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, size_t> index_;
+};
+
+void SetNonBlockingCloexec(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  LC_CHECK_GE(flags, 0);
+  LC_CHECK_GE(fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+  flags = fcntl(fd, F_GETFD, 0);
+  LC_CHECK_GE(flags, 0);
+  LC_CHECK_GE(fcntl(fd, F_SETFD, flags | FD_CLOEXEC), 0);
+}
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create(const std::string& backend) {
+#if defined(__linux__)
+  if (backend != "poll") return std::make_unique<EpollPoller>();
+#else
+  (void)backend;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+EventLoop::EventLoop(std::unique_ptr<Poller> poller)
+    : poller_(std::move(poller)) {
+  int pipe_fds[2];
+  LC_CHECK_EQ(pipe(pipe_fds), 0) << "pipe: " << strerror(errno);
+  wakeup_read_fd_ = pipe_fds[0];
+  wakeup_write_fd_ = pipe_fds[1];
+  SetNonBlockingCloexec(wakeup_read_fd_);
+  SetNonBlockingCloexec(wakeup_write_fd_);
+  const Status watched =
+      Watch(wakeup_read_fd_, /*want_read=*/true, /*want_write=*/false,
+            [this](const PollEvent&) { DrainWakeupPipe(); });
+  LC_CHECK(watched.ok()) << watched;
+}
+
+EventLoop::~EventLoop() {
+  Unwatch(wakeup_read_fd_);
+  close(wakeup_read_fd_);
+  close(wakeup_write_fd_);
+}
+
+Status EventLoop::Watch(int fd, bool want_read, bool want_write,
+                        FdHandler handler) {
+  LC_RETURN_IF_ERROR(poller_->Add(fd, want_read, want_write));
+  handlers_[fd] = std::move(handler);
+  return Status::OK();
+}
+
+Status EventLoop::Update(int fd, bool want_read, bool want_write) {
+  return poller_->Update(fd, want_read, want_write);
+}
+
+void EventLoop::Unwatch(int fd) {
+  poller_->Remove(fd);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    if (exited_) return;  // Loop is gone; shutdown already resolved its work.
+    tasks_.push_back(std::move(task));
+  }
+  // A full pipe means the loop has wakeups pending anyway; EAGAIN is fine.
+  const char byte = 1;
+  ssize_t n;
+  do {
+    n = write(wakeup_write_fd_, &byte, 1);
+  } while (n < 0 && errno == EINTR);
+}
+
+void EventLoop::RunAt(std::chrono::steady_clock::time_point when,
+                      std::function<void()> task) {
+  Timer timer;
+  timer.when = when;
+  timer.seq = timer_seq_++;
+  timer.task = std::move(task);
+  timers_.push(std::move(timer));
+}
+
+void EventLoop::DrainWakeupPipe() {
+  char buffer[256];
+  while (read(wakeup_read_fd_, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+void EventLoop::RunPostedTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(tasks_);
+  }
+  for (std::function<void()>& task : tasks) task();
+}
+
+int EventLoop::NextTimerTimeoutMs() const {
+  if (timers_.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  const auto delta = timers_.top().when - now;
+  if (delta <= std::chrono::steady_clock::duration::zero()) return 0;
+  const int64_t ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(delta).count();
+  // +1 rounds up so a timer never fires a fraction of a ms early and spins.
+  return static_cast<int>(std::min<int64_t>(ms + 1, 60 * 1000));
+}
+
+void EventLoop::RunDueTimers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.top().when <= now) {
+    // const_cast: priority_queue::top is const, but pop invalidates it
+    // anyway; moving the task out first avoids a copy.
+    std::function<void()> task =
+        std::move(const_cast<Timer&>(timers_.top()).task);
+    timers_.pop();
+    task();
+  }
+}
+
+void EventLoop::Run() {
+  std::vector<PollEvent> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    RunPostedTasks();
+    RunDueTimers();
+    if (stop_.load(std::memory_order_acquire)) break;
+    events.clear();
+    poller_->Wait(NextTimerTimeoutMs(), &events);
+    for (const PollEvent& event : events) {
+      // The handler for an earlier event in this batch may have closed and
+      // unwatched a later fd; skip stale reports.
+      auto it = handlers_.find(event.fd);
+      if (it == handlers_.end()) continue;
+      // Copy: the handler may Unwatch(fd) and erase itself mid-call.
+      FdHandler handler = it->second;
+      handler(event);
+    }
+  }
+  // Run tasks that raced the stop flag, then seal the queue: later Post()
+  // calls are dropped rather than left pending forever.
+  std::vector<std::function<void()>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    leftover.swap(tasks_);
+    exited_ = true;
+  }
+  for (std::function<void()>& task : leftover) task();
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  // Wake the loop if it is blocked in Wait.
+  const char byte = 1;
+  ssize_t n;
+  do {
+    n = write(wakeup_write_fd_, &byte, 1);
+  } while (n < 0 && errno == EINTR);
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc

@@ -1,0 +1,139 @@
+// A single-threaded, non-blocking readiness loop for the socket transport.
+//
+// Ownership rule (see docs/ARCHITECTURE.md, "Network transport"): exactly
+// one thread runs EventLoop::Run(), and every watched fd, timer, and
+// Connection object belongs to that thread. Other threads interact with the
+// loop only through Post(), which enqueues a task and wakes the loop via a
+// self-pipe — this is how worker-lane completions re-enter the loop without
+// any fd state needing cross-thread locks.
+//
+// The readiness backend is pluggable: epoll(7) on Linux (the default) and a
+// portable poll(2) implementation, selected by LC_SERVE_EVENT_BACKEND. Both
+// are level-triggered, so a handler that leaves bytes unread simply gets
+// called again — the write-backpressure "pause reads" state machine in
+// Connection relies on this.
+
+#ifndef LC_SERVE_NET_EVENT_LOOP_H_
+#define LC_SERVE_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lc {
+namespace serve {
+namespace net {
+
+/// One readiness report from Poller::Wait.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  // Error or hangup: the handler should read (to observe EOF/errno) and
+  // close. Reported even when the caller only asked for read/write.
+  bool error = false;
+};
+
+/// Level-triggered readiness backend (epoll or poll).
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// "epoll" (Linux only) or "poll"; any other name falls back to the
+  /// platform default ("epoll" on Linux, "poll" elsewhere).
+  static std::unique_ptr<Poller> Create(const std::string& backend);
+
+  virtual Status Add(int fd, bool want_read, bool want_write) = 0;
+  virtual Status Update(int fd, bool want_read, bool want_write) = 0;
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = forever, 0 = poll) and appends every
+  /// ready fd to `*events`. Returns the number of ready fds (0 on timeout);
+  /// EINTR is retried internally.
+  virtual int Wait(int timeout_ms, std::vector<PollEvent>* events) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class EventLoop {
+ public:
+  explicit EventLoop(std::unique_ptr<Poller> poller);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  using FdHandler = std::function<void(const PollEvent&)>;
+
+  /// Registers `fd` with the poller; `handler` runs on the loop thread for
+  /// every readiness report. Loop-thread only (or before Run()).
+  Status Watch(int fd, bool want_read, bool want_write, FdHandler handler);
+  /// Changes the interest set of a watched fd. Loop-thread only.
+  Status Update(int fd, bool want_read, bool want_write);
+  /// Unregisters `fd` (the caller closes it). Loop-thread only.
+  void Unwatch(int fd);
+
+  /// Thread-safe: runs `task` on the loop thread as soon as it wakes.
+  /// Tasks posted before Run() execute at loop start; tasks posted after
+  /// the loop exited are dropped (shutdown has already force-resolved
+  /// everything they could complete).
+  void Post(std::function<void()> task);
+
+  /// Schedules `task` on the loop thread at `when`. Loop-thread only;
+  /// periodic work re-arms itself from inside its task.
+  void RunAt(std::chrono::steady_clock::time_point when,
+             std::function<void()> task);
+
+  /// Runs until Stop(); dispatches readiness handlers, posted tasks and
+  /// timers. Returns after the stop request is observed.
+  void Run();
+
+  /// Thread-safe and idempotent: makes Run() return.
+  void Stop();
+
+  Poller* poller() { return poller_.get(); }
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    uint64_t seq;  // FIFO tie-break for equal deadlines.
+    std::function<void()> task;
+    bool operator>(const Timer& other) const {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  void DrainWakeupPipe();
+  void RunPostedTasks();
+  int NextTimerTimeoutMs() const;
+  void RunDueTimers();
+
+  std::unique_ptr<Poller> poller_;
+  int wakeup_read_fd_ = -1;
+  int wakeup_write_fd_ = -1;
+
+  std::unordered_map<int, FdHandler> handlers_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  uint64_t timer_seq_ = 0;
+
+  std::mutex post_mu_;  // Guards tasks_ and exited_ (the cross-thread edge).
+  std::vector<std::function<void()>> tasks_;
+  bool exited_ = false;
+
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc
+
+#endif  // LC_SERVE_NET_EVENT_LOOP_H_

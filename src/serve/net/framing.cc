@@ -1,0 +1,63 @@
+#include "serve/net/framing.h"
+
+#include "util/check.h"
+
+namespace lc {
+namespace serve {
+namespace net {
+
+LineFramer::LineFramer(size_t max_line) : max_line_(max_line) {
+  LC_CHECK_GT(max_line, 0u);
+}
+
+void LineFramer::Feed(std::string_view bytes, std::vector<Event>* events) {
+  while (!bytes.empty()) {
+    const size_t newline = bytes.find('\n');
+
+    if (discarding_) {
+      // Skip the tail of an oversize line; the '\n' re-arms normal framing.
+      if (newline == std::string_view::npos) return;
+      bytes.remove_prefix(newline + 1);
+      discarding_ = false;
+      continue;
+    }
+
+    if (newline == std::string_view::npos) {
+      // No terminator yet: buffer, unless that would cross the line limit.
+      if (partial_.size() + bytes.size() > max_line_) {
+        Event event;
+        event.kind = Event::Kind::kOversize;
+        events->push_back(std::move(event));
+        partial_.clear();
+        discarding_ = true;
+        return;  // The rest of this chunk belongs to the discarded line.
+      }
+      partial_.append(bytes);
+      return;
+    }
+
+    if (partial_.size() + newline > max_line_) {
+      Event event;
+      event.kind = Event::Kind::kOversize;
+      events->push_back(std::move(event));
+      partial_.clear();
+      bytes.remove_prefix(newline + 1);
+      continue;
+    }
+
+    Event event;
+    event.kind = Event::Kind::kLine;
+    event.line = std::move(partial_);
+    partial_.clear();
+    event.line.append(bytes.substr(0, newline));
+    if (!event.line.empty() && event.line.back() == '\r') {
+      event.line.pop_back();
+    }
+    events->push_back(std::move(event));
+    bytes.remove_prefix(newline + 1);
+  }
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc

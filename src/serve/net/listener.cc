@@ -1,0 +1,188 @@
+#include "serve/net/listener.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/str.h"
+
+namespace lc {
+namespace serve {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(Format("%s: %s", what, strerror(errno)));
+}
+
+Status MakeNonBlockingCloexec(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  flags = fcntl(fd, F_GETFD, 0);
+  if (flags < 0 || fcntl(fd, F_SETFD, flags | FD_CLOEXEC) < 0) {
+    return ErrnoStatus("fcntl(FD_CLOEXEC)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Endpoint::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return Format("tcp:%s:%u", host.c_str(), static_cast<unsigned>(port));
+}
+
+StatusOr<Endpoint> ParseEndpoint(std::string_view spec) {
+  constexpr std::string_view kTcpPrefix = "tcp:";
+  constexpr std::string_view kUnixPrefix = "unix:";
+  if (StartsWith(spec, kUnixPrefix)) {
+    Endpoint endpoint;
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = std::string(spec.substr(kUnixPrefix.size()));
+    if (endpoint.path.empty()) {
+      return Status::InvalidArgument("unix endpoint is missing a path");
+    }
+    sockaddr_un probe;
+    if (endpoint.path.size() >= sizeof(probe.sun_path)) {
+      return Status::InvalidArgument(
+          Format("unix socket path exceeds %zu bytes: '%s'",
+                 sizeof(probe.sun_path) - 1, endpoint.path.c_str()));
+    }
+    return endpoint;
+  }
+  if (StartsWith(spec, kTcpPrefix)) {
+    const std::string_view rest = spec.substr(kTcpPrefix.size());
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument(
+          "tcp endpoint must be tcp:<ipv4>:<port>");
+    }
+    Endpoint endpoint;
+    endpoint.kind = Endpoint::Kind::kTcp;
+    endpoint.host = std::string(rest.substr(0, colon));
+    int32_t port = 0;
+    const Status parsed = ParseInt32(rest.substr(colon + 1), 0, &port);
+    if (!parsed.ok() || port > 65535) {
+      return Status::InvalidArgument(
+          Format("bad tcp port in endpoint '%.*s'",
+                 static_cast<int>(spec.size()), spec.data()));
+    }
+    endpoint.port = static_cast<uint16_t>(port);
+    in_addr probe;
+    if (inet_pton(AF_INET, endpoint.host.c_str(), &probe) != 1) {
+      return Status::InvalidArgument(
+          Format("bad IPv4 address '%s' in endpoint", endpoint.host.c_str()));
+    }
+    return endpoint;
+  }
+  return Status::InvalidArgument(
+      Format("endpoint '%.*s' must start with tcp: or unix:",
+             static_cast<int>(spec.size()), spec.data()));
+}
+
+StatusOr<std::unique_ptr<Listener>> Listener::Bind(const Endpoint& endpoint,
+                                                   int backlog) {
+  const int domain =
+      endpoint.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  const int fd = socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+
+  Endpoint bound = endpoint;
+  Status status = MakeNonBlockingCloexec(fd);
+  if (status.ok() && endpoint.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+      status = ErrnoStatus("setsockopt(SO_REUSEADDR)");
+    }
+  }
+
+  if (status.ok()) {
+    if (endpoint.kind == Endpoint::Kind::kUnix) {
+      sockaddr_un addr;
+      memset(&addr, 0, sizeof(addr));
+      addr.sun_family = AF_UNIX;
+      strncpy(addr.sun_path, endpoint.path.c_str(),
+              sizeof(addr.sun_path) - 1);
+      // Replace a stale socket file (a crashed predecessor); a live server
+      // on the same path loses its listener either way, so this is the
+      // standard unix-socket bind discipline rather than a race guard.
+      (void)unlink(endpoint.path.c_str());
+      if (bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        status = ErrnoStatus("bind(unix)");
+      }
+    } else {
+      sockaddr_in addr;
+      memset(&addr, 0, sizeof(addr));
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(endpoint.port);
+      if (inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+        status = Status::InvalidArgument(
+            Format("bad IPv4 address '%s'", endpoint.host.c_str()));
+      } else if (bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+        status = ErrnoStatus("bind(tcp)");
+      } else if (endpoint.port == 0) {
+        sockaddr_in actual;
+        socklen_t len = sizeof(actual);
+        if (getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) !=
+            0) {
+          status = ErrnoStatus("getsockname");
+        } else {
+          bound.port = ntohs(actual.sin_port);
+        }
+      }
+    }
+  }
+
+  if (status.ok() && listen(fd, backlog) != 0) {
+    status = ErrnoStatus("listen");
+  }
+  if (!status.ok()) {
+    close(fd);
+    return Status(status.code(),
+                  Format("%s (%s)", status.message().c_str(),
+                         endpoint.ToString().c_str()));
+  }
+  return std::unique_ptr<Listener>(new Listener(fd, std::move(bound)));
+}
+
+Listener::~Listener() {
+  close(fd_);
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    (void)unlink(endpoint_.path.c_str());
+  }
+}
+
+int Listener::Accept() {
+  int client;
+  do {
+    client = accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) return -1;  // EAGAIN or a transient error; retry later.
+  if (!MakeNonBlockingCloexec(client).ok()) {
+    close(client);
+    return -1;
+  }
+  if (endpoint_.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    // Best-effort: a failed NODELAY costs latency, not correctness.
+    (void)setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return client;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc

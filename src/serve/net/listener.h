@@ -1,0 +1,74 @@
+// Listening sockets for the estimator server: TCP (IPv4) and unix-domain
+// stream endpoints, both non-blocking so they slot into the EventLoop.
+//
+// Endpoint specs are the LC_SERVE_LISTEN syntax:
+//   tcp:<ipv4>:<port>   e.g. tcp:127.0.0.1:9753 (port 0 = kernel-assigned,
+//                       resolved in endpoint() after Bind)
+//   unix:<path>         e.g. unix:/tmp/lc_estimator.sock (bound fresh: a
+//                       stale socket file from a dead process is replaced)
+
+#ifndef LC_SERVE_NET_LISTENER_H_
+#define LC_SERVE_NET_LISTENER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace lc {
+namespace serve {
+namespace net {
+
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;    // kTcp: dotted-quad IPv4 address.
+  uint16_t port = 0;   // kTcp: 0 = pick an ephemeral port at Bind.
+  std::string path;    // kUnix: filesystem path of the socket.
+
+  /// Round-trips through ParseEndpoint ("tcp:127.0.0.1:9753", "unix:/x").
+  std::string ToString() const;
+};
+
+/// Parses one endpoint spec; strict — a malformed spec (bad port, missing
+/// path, unknown scheme) is an InvalidArgument, never a guess.
+StatusOr<Endpoint> ParseEndpoint(std::string_view spec);
+
+class Listener {
+ public:
+  /// Binds and listens on `endpoint`, non-blocking + close-on-exec, with
+  /// SO_REUSEADDR on TCP. Ephemeral TCP ports are resolved, so
+  /// listener->endpoint() is always connectable.
+  static StatusOr<std::unique_ptr<Listener>> Bind(const Endpoint& endpoint,
+                                                  int backlog);
+
+  /// Closes the fd; a unix listener also unlinks its socket file.
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accepts one pending connection, already non-blocking + cloexec (and
+  /// TCP_NODELAY for TCP — response lines are tiny and latency-bound).
+  /// Returns -1 when no connection is pending (EAGAIN) or on a transient
+  /// per-connection error (the loop just retries on the next readiness).
+  int Accept();
+
+  int fd() const { return fd_; }
+  const Endpoint& endpoint() const { return endpoint_; }
+
+ private:
+  Listener(int fd, Endpoint endpoint)
+      : fd_(fd), endpoint_(std::move(endpoint)) {}
+
+  int fd_;
+  Endpoint endpoint_;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc
+
+#endif  // LC_SERVE_NET_LISTENER_H_

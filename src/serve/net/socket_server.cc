@@ -1,0 +1,268 @@
+#include "serve/net/socket_server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "serve/server.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace lc {
+namespace serve {
+namespace net {
+
+namespace {
+
+std::vector<std::string> SplitListenSpecs(const std::string& specs) {
+  std::vector<std::string> out;
+  for (const std::string& piece : Split(specs, ',')) {
+    const std::string trimmed = Trim(piece);
+    if (!trimmed.empty()) out.push_back(trimmed);
+  }
+  return out;
+}
+
+}  // namespace
+
+SocketServerConfig SocketServerConfig::FromEnv() {
+  SocketServerConfig config;
+  config.listen = SplitListenSpecs(GetEnvString("LC_SERVE_LISTEN", ""));
+  config.max_line = static_cast<size_t>(std::max<int64_t>(
+      16, GetEnvInt("LC_SERVE_MAX_LINE",
+                    static_cast<int64_t>(config.max_line))));
+  config.idle_timeout_ms = std::max<int64_t>(
+      0, GetEnvInt("LC_SERVE_IDLE_TIMEOUT_MS", config.idle_timeout_ms));
+  config.stats_interval_ms = std::max<int64_t>(
+      0, GetEnvInt("LC_SERVE_STATS_INTERVAL_MS", config.stats_interval_ms));
+  config.write_high_water = static_cast<size_t>(std::max<int64_t>(
+      1024, GetEnvInt("LC_SERVE_WRITE_BUFFER",
+                      static_cast<int64_t>(config.write_high_water))));
+  config.backend = GetEnvString("LC_SERVE_EVENT_BACKEND", "");
+  config.drain_timeout_ms = std::max<int64_t>(
+      100, GetEnvInt("LC_SERVE_DRAIN_TIMEOUT_MS", config.drain_timeout_ms));
+  return config;
+}
+
+SocketServer::SocketServer(EstimatorServer* server, SocketServerConfig config)
+    : server_(server), config_(std::move(config)) {
+  LC_CHECK(server != nullptr);
+}
+
+SocketServer::~SocketServer() { Shutdown(); }
+
+Status SocketServer::Start() {
+  LC_CHECK(!started_) << "SocketServer::Start called twice";
+  if (config_.listen.empty()) {
+    return Status::InvalidArgument(
+        "no listen endpoints configured (set LC_SERVE_LISTEN or "
+        "SocketServerConfig::listen)");
+  }
+
+  std::vector<std::unique_ptr<Listener>> listeners;
+  for (const std::string& spec : config_.listen) {
+    StatusOr<Endpoint> endpoint = ParseEndpoint(spec);
+    if (!endpoint.ok()) return endpoint.status();
+    StatusOr<std::unique_ptr<Listener>> listener =
+        Listener::Bind(*endpoint, config_.backlog);
+    if (!listener.ok()) return listener.status();
+    listeners.push_back(std::move(listener).value());
+  }
+
+  loop_ = std::make_unique<EventLoop>(Poller::Create(config_.backend));
+  listeners_ = std::move(listeners);
+  // Registrations and timer arming happen before the loop thread exists,
+  // which satisfies the loop-thread-only rule (there is exactly one thread
+  // touching loop state at any point in time).
+  for (const std::unique_ptr<Listener>& listener : listeners_) {
+    Listener* raw = listener.get();
+    const Status watched = loop_->Watch(
+        raw->fd(), /*want_read=*/true, /*want_write=*/false,
+        [this, raw](const PollEvent&) { OnListenerReadable(raw); });
+    if (!watched.ok()) {
+      listeners_.clear();
+      loop_.reset();
+      return watched;
+    }
+    LC_LOG(INFO) << "serving line protocol on "
+                 << raw->endpoint().ToString() << " ("
+                 << loop_->poller()->name() << ")";
+  }
+  ArmIdleTimer();
+  ArmStatsTimer();
+  thread_ = std::thread([this] { loop_->Run(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void SocketServer::OnListenerReadable(Listener* listener) {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  while (true) {
+    const int fd = listener->Accept();
+    if (fd < 0) return;
+    if (config_.so_sndbuf > 0) {
+      (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                       sizeof(config_.so_sndbuf));
+    }
+    Connection::Options options;
+    options.max_line = config_.max_line;
+    options.write_high_water = config_.write_high_water;
+    auto connection = std::make_shared<Connection>(
+        fd, loop_.get(), server_, options, &counters_,
+        [this](int closed_fd) {
+          connections_.erase(closed_fd);
+          if (stopping_.load(std::memory_order_acquire)) CheckDrainDone();
+        });
+    const Status registered = connection->Register();
+    if (!registered.ok()) {
+      LC_LOG(WARNING) << "dropping connection: " << registered.ToString();
+      continue;  // The connection closes itself via its destructor.
+    }
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    connections_[fd] = std::move(connection);
+  }
+}
+
+void SocketServer::ArmIdleTimer() {
+  if (config_.idle_timeout_ms <= 0) return;
+  // Sweep at a quarter of the timeout so reaping lags it by at most ~25%.
+  const auto period = std::chrono::milliseconds(
+      std::max<int64_t>(1, config_.idle_timeout_ms / 4));
+  loop_->RunAt(std::chrono::steady_clock::now() + period, [this] {
+    if (!stopping_.load(std::memory_order_acquire)) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto timeout =
+          std::chrono::milliseconds(config_.idle_timeout_ms);
+      // Snapshot: CloseIfIdle erases from connections_ via on_close.
+      std::vector<std::shared_ptr<Connection>> snapshot;
+      snapshot.reserve(connections_.size());
+      for (const auto& [fd, connection] : connections_) {
+        snapshot.push_back(connection);
+      }
+      for (const std::shared_ptr<Connection>& connection : snapshot) {
+        connection->CloseIfIdle(now, timeout);
+      }
+      ArmIdleTimer();
+    }
+  });
+}
+
+void SocketServer::ArmStatsTimer() {
+  if (config_.stats_interval_ms <= 0) return;
+  const auto period = std::chrono::milliseconds(config_.stats_interval_ms);
+  loop_->RunAt(std::chrono::steady_clock::now() + period, [this] {
+    if (!stopping_.load(std::memory_order_acquire)) {
+      const NetStats net = net_stats();
+      LC_LOG(INFO) << "serve stats: " << server_->FormatStatsLine()
+                   << Format(" | net: open=%llu accepted=%llu lines=%llu "
+                             "responses=%llu oversize=%llu reaped=%llu "
+                             "read_pauses=%llu",
+                             static_cast<unsigned long long>(net.open),
+                             static_cast<unsigned long long>(net.accepted),
+                             static_cast<unsigned long long>(net.lines_in),
+                             static_cast<unsigned long long>(
+                                 net.responses_out),
+                             static_cast<unsigned long long>(
+                                 net.oversize_lines),
+                             static_cast<unsigned long long>(net.reaped_idle),
+                             static_cast<unsigned long long>(
+                                 net.read_pauses));
+      ArmStatsTimer();
+    }
+  });
+}
+
+void SocketServer::CheckDrainDone() {
+  if (!connections_.empty()) return;
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  drained_ = true;
+  drain_cv_.notify_all();
+}
+
+void SocketServer::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+  stopping_.store(true, std::memory_order_release);
+
+  loop_->Post([this] {
+    // No new connections: tear the listeners down first.
+    for (const std::unique_ptr<Listener>& listener : listeners_) {
+      loop_->Unwatch(listener->fd());
+    }
+    listeners_.clear();
+    // Snapshot: BeginDrain may close a connection, erasing it from the map.
+    std::vector<std::shared_ptr<Connection>> snapshot;
+    snapshot.reserve(connections_.size());
+    for (const auto& [fd, connection] : connections_) {
+      snapshot.push_back(connection);
+    }
+    for (const std::shared_ptr<Connection>& connection : snapshot) {
+      connection->BeginDrain();
+    }
+    CheckDrainDone();
+  });
+
+  // Wait for every accepted line to be answered and flushed; a wedged
+  // drain (a lane that never completes, a client that never reads) is
+  // force-closed at the deadline rather than parking shutdown forever.
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    const bool clean = drain_cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.drain_timeout_ms),
+        [this] { return drained_; });
+    if (!clean) {
+      LC_LOG(WARNING) << "socket drain deadline exceeded; force-closing "
+                         "remaining connections";
+      loop_->Post([this] {
+        std::vector<std::shared_ptr<Connection>> snapshot;
+        snapshot.reserve(connections_.size());
+        for (const auto& [fd, connection] : connections_) {
+          snapshot.push_back(connection);
+        }
+        for (const std::shared_ptr<Connection>& connection : snapshot) {
+          connection->ForceClose();
+        }
+        CheckDrainDone();
+      });
+      drain_cv_.wait(lock, [this] { return drained_; });
+    }
+  }
+
+  loop_->Stop();
+  if (thread_.joinable()) thread_.join();
+  loop_.reset();
+}
+
+std::vector<Endpoint> SocketServer::endpoints() const {
+  // Stable after Start(): listeners_ only changes inside Shutdown, which
+  // the caller must not race with this accessor.
+  std::vector<Endpoint> endpoints;
+  endpoints.reserve(listeners_.size());
+  for (const std::unique_ptr<Listener>& listener : listeners_) {
+    endpoints.push_back(listener->endpoint());
+  }
+  return endpoints;
+}
+
+SocketServer::NetStats SocketServer::net_stats() const {
+  NetStats stats;
+  stats.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  stats.closed = counters_.closed.load(std::memory_order_relaxed);
+  stats.reaped_idle = counters_.reaped_idle.load(std::memory_order_relaxed);
+  stats.lines_in = counters_.lines_in.load(std::memory_order_relaxed);
+  stats.responses_out =
+      counters_.responses_out.load(std::memory_order_relaxed);
+  stats.oversize_lines =
+      counters_.oversize_lines.load(std::memory_order_relaxed);
+  stats.read_pauses = counters_.read_pauses.load(std::memory_order_relaxed);
+  stats.open = stats.accepted - std::min(stats.closed, stats.accepted);
+  return stats;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc

@@ -1,0 +1,148 @@
+// The network front door of serve::EstimatorServer: listeners + an event
+// loop + per-connection framing, turning the in-process line protocol into
+// a real byte-stream service on TCP and unix-domain sockets.
+//
+//   SocketServer net(&server);                  // config from LC_SERVE_* env
+//   LC_CHECK(net.Start().ok());
+//   ... serve until told otherwise ...
+//   net.Shutdown();      // answers everything accepted, then closes
+//   server.Shutdown();
+//
+// One background thread runs the EventLoop; it owns every fd. Request
+// lines are dispatched through EstimatorServer::HandleLineAsync, so a
+// batching-window reply never blocks the loop — the lane completion posts
+// the response back and the loop keeps multiplexing the other connections.
+//
+// Shutdown drains: listeners close first (no new connections), each live
+// connection harvests the request bytes the kernel already accepted, and
+// the loop keeps running until every claimed line has its response on the
+// wire (the server answers normally while up, or with typed Unavailable
+// rejections once it is stopping). A drain that exceeds the configured
+// deadline force-closes the stragglers — a wedged client cannot park
+// shutdown forever.
+
+#ifndef LC_SERVE_NET_SOCKET_SERVER_H_
+#define LC_SERVE_NET_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/net/connection.h"
+#include "serve/net/event_loop.h"
+#include "serve/net/listener.h"
+#include "util/status.h"
+
+namespace lc {
+namespace serve {
+
+class EstimatorServer;
+
+namespace net {
+
+/// Transport tuning. Defaults come from the LC_SERVE_* environment knobs.
+struct SocketServerConfig {
+  /// Endpoint specs to bind ("tcp:127.0.0.1:9753", "unix:/tmp/lc.sock");
+  /// LC_SERVE_LISTEN is a comma-separated list. Start() fails when empty.
+  std::vector<std::string> listen;
+  /// Longest accepted request line in bytes (LC_SERVE_MAX_LINE, default
+  /// 65536). Longer lines get one ERR and are discarded to the newline.
+  size_t max_line = 1 << 16;
+  /// Close connections quiet for this long that owe no responses
+  /// (LC_SERVE_IDLE_TIMEOUT_MS, default 60000; 0 disables reaping).
+  int64_t idle_timeout_ms = 60000;
+  /// Period of the serve::Stats log line (LC_SERVE_STATS_INTERVAL_MS,
+  /// default 10000; 0 disables).
+  int64_t stats_interval_ms = 10000;
+  /// Per-connection unsent-output bound before reads pause
+  /// (LC_SERVE_WRITE_BUFFER, default 1 MiB).
+  size_t write_high_water = 1 << 20;
+  /// Readiness backend: "epoll" (Linux default) or "poll"
+  /// (LC_SERVE_EVENT_BACKEND).
+  std::string backend;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Shutdown drain deadline before stragglers are force-closed
+  /// (LC_SERVE_DRAIN_TIMEOUT_MS, default 30000).
+  int64_t drain_timeout_ms = 30000;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Mainly
+  /// for tests that need to provoke write backpressure deterministically.
+  int so_sndbuf = 0;
+
+  static SocketServerConfig FromEnv();
+};
+
+class SocketServer {
+ public:
+  /// Borrows `server`, which must outlive this object. Call Start() to go
+  /// live; the destructor runs Shutdown().
+  explicit SocketServer(EstimatorServer* server,
+                        SocketServerConfig config = SocketServerConfig::FromEnv());
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds every configured endpoint and starts the loop thread. On any
+  /// bind failure nothing is left running and the error names the endpoint.
+  Status Start();
+
+  /// Stops accepting, answers every accepted request line, flushes, closes
+  /// every connection, and joins the loop thread. Idempotent. The
+  /// EstimatorServer should still be alive (its lanes complete the
+  /// in-flight requests); calling after server shutdown also works — every
+  /// drained line is then answered with the typed shutdown rejection.
+  void Shutdown();
+
+  /// Actual bound endpoints (ephemeral TCP ports resolved). Valid after a
+  /// successful Start().
+  std::vector<Endpoint> endpoints() const;
+
+  /// Snapshot of the transport counters.
+  struct NetStats {
+    uint64_t accepted = 0;
+    uint64_t closed = 0;
+    uint64_t reaped_idle = 0;
+    uint64_t lines_in = 0;
+    uint64_t responses_out = 0;
+    uint64_t oversize_lines = 0;
+    uint64_t read_pauses = 0;
+    uint64_t open = 0;  // accepted - closed at snapshot time.
+  };
+  NetStats net_stats() const;
+
+ private:
+  void OnListenerReadable(Listener* listener);
+  void ArmIdleTimer();
+  void ArmStatsTimer();
+  void CheckDrainDone();
+
+  EstimatorServer* const server_;
+  const SocketServerConfig config_;
+  std::unique_ptr<EventLoop> loop_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  // Loop-thread only: the owning reference per live connection.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  std::thread thread_;
+  NetCounters counters_;
+
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  bool shut_down_ = false;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool drained_ = false;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace lc
+
+#endif  // LC_SERVE_NET_SOCKET_SERVER_H_

@@ -73,44 +73,50 @@ EstimatorServer::EstimatorServer(MscnEstimator* estimator,
 
 EstimatorServer::~EstimatorServer() { Shutdown(); }
 
-std::future<Response> EstimatorServer::SubmitAsync(
-    std::string_view query_text) {
+void EstimatorServer::SubmitAsync(std::string_view query_text,
+                                  CompletionFn done) {
   received_.fetch_add(1, std::memory_order_relaxed);
   const SteadyClock::time_point admitted = SteadyClock::now();
-  std::promise<Response> promise;
-  std::future<Response> future = promise.get_future();
 
+  const auto resolve = [&](Response response,
+                           std::atomic<uint64_t>* counter) {
+    if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
+    response.latency_us = MicrosSince(admitted, SteadyClock::now());
+    done(std::move(response));
+  };
   const auto reject = [&](Status status, std::atomic<uint64_t>* counter) {
-    counter->fetch_add(1, std::memory_order_relaxed);
     Response response;
     response.status = std::move(status);
-    response.latency_us = MicrosSince(admitted, SteadyClock::now());
-    promise.set_value(std::move(response));
-    return std::move(future);
+    resolve(std::move(response), counter);
   };
 
   if (stopping_.load(std::memory_order_acquire)) {
-    return reject(Status::Unavailable("server is shutting down"),
-                  &rejected_shutdown_);
+    reject(Status::Unavailable("server is shutting down"),
+           &rejected_shutdown_);
+    return;
   }
 
   StatusOr<Query> parsed = Query::Deserialize(query_text);
-  if (!parsed.ok()) return reject(parsed.status(), &rejected_malformed_);
+  if (!parsed.ok()) {
+    reject(parsed.status(), &rejected_malformed_);
+    return;
+  }
   const Query query = std::move(parsed).value();
   Status valid = query.Validate(*schema_);
-  if (!valid.ok()) return reject(std::move(valid), &rejected_malformed_);
+  if (!valid.ok()) {
+    reject(std::move(valid), &rejected_malformed_);
+    return;
+  }
 
   // Fast path: an exact-match fresh cache entry skips annotation, the
   // queue, and the batching window entirely.
   double cached = 0.0;
   if (estimator_->ProbeCache(query.CanonicalKey(), &cached)) {
-    admission_hits_.fetch_add(1, std::memory_order_relaxed);
     Response response;
     response.estimate = cached;
     response.cache_hit = true;
-    response.latency_us = MicrosSince(admitted, SteadyClock::now());
-    promise.set_value(std::move(response));
-    return future;
+    resolve(std::move(response), &admission_hits_);
+    return;
   }
 
   // Cheap pre-annotation shed: under sustained overload the queue stays
@@ -119,13 +125,10 @@ std::future<Response> EstimatorServer::SubmitAsync(
   // lanes (a momentarily-full queue may drain before TryPush), so it only
   // sheds — TryPush below stays the authoritative admission decision.
   if (queue_.size() >= config_.queue_capacity) {
-    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-    Response response;
-    response.status = Status::Unavailable(
-        "admission queue full: server overloaded, retry later");
-    response.latency_us = MicrosSince(admitted, SteadyClock::now());
-    promise.set_value(std::move(response));
-    return future;
+    reject(Status::Unavailable(
+               "admission queue full: server overloaded, retry later"),
+           &rejected_overload_);
+    return;
   }
 
   auto pending = std::make_unique<Pending>();
@@ -134,30 +137,39 @@ std::future<Response> EstimatorServer::SubmitAsync(
   // submitting thread, keeping lanes free for forward passes.
   pending->labeled = LabelQuery(query, /*executor=*/nullptr, *samples_);
   pending->admitted = admitted;
-  pending->promise = std::move(promise);
+  pending->done = std::move(done);
 
   switch (queue_.TryPush(&pending)) {
     case QueuePush::kAccepted:
-      return future;
+      return;
     case QueuePush::kFull: {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
       Response response;
       response.status = Status::Unavailable(
           "admission queue full: server overloaded, retry later");
       response.latency_us = MicrosSince(admitted, SteadyClock::now());
-      pending->promise.set_value(std::move(response));
-      return future;
+      pending->done(std::move(response));
+      return;
     }
     case QueuePush::kClosed: {
       rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
       Response response;
       response.status = Status::Unavailable("server is shutting down");
       response.latency_us = MicrosSince(admitted, SteadyClock::now());
-      pending->promise.set_value(std::move(response));
-      return future;
+      pending->done(std::move(response));
+      return;
     }
   }
   LC_CHECK(false) << "unreachable";
+}
+
+std::future<Response> EstimatorServer::SubmitAsync(
+    std::string_view query_text) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  SubmitAsync(query_text, [promise](Response response) {
+    promise->set_value(std::move(response));
+  });
   return future;
 }
 
@@ -166,16 +178,34 @@ Response EstimatorServer::Submit(std::string_view query_text) {
 }
 
 std::string EstimatorServer::HandleLine(std::string_view line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  HandleLineAsync(line, [promise](std::string response) {
+    promise->set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void EstimatorServer::HandleLineAsync(
+    std::string_view line, std::function<void(std::string)> done) {
   StatusOr<std::string> text = ParseRequestLine(line);
   if (!text.ok()) {
     received_.fetch_add(1, std::memory_order_relaxed);
     rejected_malformed_.fetch_add(1, std::memory_order_relaxed);
     Response response;
     response.status = text.status();
-    return FormatResponse(response);
+    done(FormatResponse(response));
+    return;
   }
-  if (IsAdminRequest(*text)) return HandleAdmin(*text);
-  return FormatResponse(Submit(*text));
+  // Admin lines resolve inline: STATS is a counter read and RETRAIN only
+  // kicks a background thread — neither blocks the calling event loop.
+  if (IsAdminRequest(*text)) {
+    done(HandleAdmin(*text));
+    return;
+  }
+  SubmitAsync(*text, [done = std::move(done)](Response response) {
+    done(FormatResponse(response));
+  });
 }
 
 std::string EstimatorServer::FormatStatsLine() {
@@ -207,8 +237,10 @@ std::string EstimatorServer::HandleAdmin(std::string_view text) {
   received_.fetch_add(1, std::memory_order_relaxed);
   admin_requests_.fetch_add(1, std::memory_order_relaxed);
   StatusOr<std::string> verb = ParseAdminVerb(text);
+  // Malformed admin lines count as admin_requests only — never also as
+  // rejected_malformed — so the Stats coherence invariant (received ==
+  // the sum of the outcome buckets) holds with admin traffic in the mix.
   if (!verb.ok()) {
-    rejected_malformed_.fetch_add(1, std::memory_order_relaxed);
     return FormatAdminResponse(verb.status(), "");
   }
 
@@ -268,7 +300,6 @@ std::string EstimatorServer::HandleAdmin(std::string_view text) {
     return FormatAdminResponse(Status::OK(), "retrain started");
   }
 
-  rejected_malformed_.fetch_add(1, std::memory_order_relaxed);
   return FormatAdminResponse(
       Status::InvalidArgument("unknown admin verb: " + *verb), "");
 }
@@ -315,7 +346,7 @@ void EstimatorServer::LaneLoop(LaneStats* stats) {
       response.estimate = estimates[i];
       response.cache_hit = cache_hits[i] != 0;
       response.latency_us = MicrosSince(batch[i]->admitted, done);
-      batch[i]->promise.set_value(std::move(response));
+      batch[i]->done(std::move(response));
     }
   }
 }
@@ -346,7 +377,7 @@ void EstimatorServer::Shutdown() {
         Status::Unavailable("server shut down before the request was served");
     response.latency_us =
         MicrosSince(leftover->admitted, SteadyClock::now());
-    leftover->promise.set_value(std::move(response));
+    leftover->done(std::move(response));
   }
 }
 

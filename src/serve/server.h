@@ -38,6 +38,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -79,6 +80,14 @@ struct ServerConfig {
 /// Monotonic server counters plus merged per-lane latency accounting; a
 /// consistent-enough snapshot for reporting (counters are relaxed atomics,
 /// lane stats are merged under their locks).
+///
+/// Coherence invariant (pinned by tests/serve_socket_test.cc with traffic
+/// arriving concurrently from Submit callers and socket connections): every
+/// received request lands in exactly one outcome bucket, so at quiescence
+///   received == served + rejected_malformed + rejected_overload
+///               + rejected_shutdown + admin_requests
+/// (admin lines are their own bucket whatever their outcome — a malformed
+/// admin verb does NOT also count as rejected_malformed).
 struct Stats {
   uint64_t received = 0;            // Submit/HandleLine calls.
   uint64_t rejected_malformed = 0;  // Parse or validation failures.
@@ -124,11 +133,36 @@ class EstimatorServer {
   /// open-loop mode and the shutdown/backpressure tests).
   std::future<Response> SubmitAsync(std::string_view query_text);
 
+  /// Completion a request resolves with: runs exactly once, on whatever
+  /// thread finishes the request — the submitting thread for rejections,
+  /// cache hits and admin lines, a worker lane for batched estimates, or
+  /// the shutdown path for drained leftovers. Must not block: lanes call
+  /// it between batches and the socket event loop behind it multiplexes
+  /// every other connection.
+  using CompletionFn = std::function<void(Response)>;
+
+  /// Callback-style Submit, the transport building block: parses,
+  /// validates, annotates and admits like Submit, but resolves through
+  /// `done` instead of a future, so the caller (the socket event loop)
+  /// never blocks on a batching window.
+  void SubmitAsync(std::string_view query_text, CompletionFn done);
+
   /// Full line protocol: request line in, response line out. Query lines
   /// go through Submit; "ADMIN <VERB>" lines are operator commands
   /// (RETRAIN kicks a background copy-train-swap via the retrain hook,
   /// STATS answers a one-line counter snapshot).
   std::string HandleLine(std::string_view line);
+
+  /// Callback-style HandleLine: `done` receives the one response line
+  /// (unterminated) exactly once, inline for rejections/cache hits/admin
+  /// and from a lane for batched estimates. The socket transport wires
+  /// this to per-connection response slots.
+  void HandleLineAsync(std::string_view line,
+                       std::function<void(std::string)> done);
+
+  /// One-line counter snapshot ("received=... served=..."), the payload of
+  /// ADMIN STATS and the socket transport's periodic stats log.
+  std::string FormatStatsLine();
 
   /// A background model update: train a replacement off to the side and
   /// publish it, e.g. Trainer::TrainClone + MscnEstimator::SwapModel on
@@ -155,7 +189,7 @@ class EstimatorServer {
  private:
   struct Pending {
     LabeledQuery labeled;
-    std::promise<Response> promise;
+    CompletionFn done;
     std::chrono::steady_clock::time_point admitted;
   };
   struct LaneStats {
@@ -169,7 +203,6 @@ class EstimatorServer {
 
   void LaneLoop(LaneStats* stats);
   std::string HandleAdmin(std::string_view text);
-  std::string FormatStatsLine();
 
   MscnEstimator* estimator_;
   const Schema* schema_;
