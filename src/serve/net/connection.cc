@@ -17,11 +17,13 @@ namespace lc {
 namespace serve {
 namespace net {
 
-Connection::Connection(int fd, EventLoop* loop, EstimatorServer* server,
-                       Options options, NetCounters* counters,
+Connection::Connection(int fd, const std::shared_ptr<EventLoop>& loop,
+                       EstimatorServer* server, Options options,
+                       NetCounters* counters,
                        std::function<void(int fd)> on_close)
     : fd_(fd),
-      loop_(loop),
+      loop_(loop.get()),
+      weak_loop_(loop),
       server_(server),
       options_(options),
       counters_(counters),
@@ -143,8 +145,15 @@ void Connection::CompleteSlot(uint64_t id, std::string&& response) {
   // Hand the flush to the loop thread (completions run on lanes, the
   // retrain thread, or inline on the loop). The shared_ptr keeps the
   // connection alive; if it was closed meanwhile the flush is a no-op.
+  // The weak handle is the lifetime seam against SocketServer::Shutdown:
+  // a completion that fires after the owner released the loop fails the
+  // lock and drops the flush (shutdown already force-closed the
+  // connection); one that races the release pins the loop object so Post
+  // runs on live memory and its exited_ seal discards the task.
+  std::shared_ptr<EventLoop> loop = weak_loop_.lock();
+  if (!loop) return;
   auto self = shared_from_this();
-  loop_->Post([self] { self->FlushReady(); });
+  loop->Post([self] { self->FlushReady(); });
 }
 
 void Connection::FlushReady() {

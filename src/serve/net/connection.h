@@ -15,7 +15,12 @@
 // the loop itself) and then Post() a flush back to the loop — the callback
 // holds a shared_ptr to the connection, so a connection that was closed
 // under an in-flight completion stays alive (and inert: flushes after
-// Close() are no-ops) until the last completion drops it.
+// Close() are no-ops) until the last completion drops it. The loop itself
+// is reached cross-thread only through a weak_ptr: a completion that
+// outlives SocketServer::Shutdown (a connection force-closed at the drain
+// deadline whose queue entry EstimatorServer::Shutdown resolves later)
+// finds the loop expired and drops the flush instead of touching a
+// destroyed EventLoop.
 //
 // Backpressure (composes with admission shedding, see
 // docs/ARCHITECTURE.md "Network transport"): when the kernel send buffer
@@ -69,8 +74,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   /// `on_close` runs on the loop thread exactly once, after the fd is
   /// closed and unwatched — the server uses it to drop its map entry.
-  Connection(int fd, EventLoop* loop, EstimatorServer* server,
-             Options options, NetCounters* counters,
+  Connection(int fd, const std::shared_ptr<EventLoop>& loop,
+             EstimatorServer* server, Options options, NetCounters* counters,
              std::function<void(int fd)> on_close);
   ~Connection();
 
@@ -105,7 +110,6 @@ class Connection : public std::enable_shared_from_this<Connection> {
   };
 
   void OnEvent(const PollEvent& event);
-  void OnReadable();
   // Reads until EAGAIN/EOF and dispatches every completed line. Returns
   // false when the connection closed itself (error path).
   bool DrainSocketReads();
@@ -121,7 +125,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   size_t PendingSlots() const;
 
   const int fd_;
+  // Raw pointer for loop-thread ops (Watch/Update/Unwatch), which only run
+  // while the loop thread is alive; the weak handle is for CompleteSlot's
+  // cross-thread Post, which may fire after the owner released the loop.
   EventLoop* const loop_;
+  const std::weak_ptr<EventLoop> weak_loop_;
   EstimatorServer* const server_;
   const Options options_;
   NetCounters* const counters_;

@@ -165,14 +165,25 @@ Listener::~Listener() {
   }
 }
 
-int Listener::Accept() {
+int Listener::Accept(AcceptResult* result) {
   int client;
   do {
     client = accept(fd_, nullptr, nullptr);
   } while (client < 0 && errno == EINTR);
-  if (client < 0) return -1;  // EAGAIN or a transient error; retry later.
+  if (client < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *result = AcceptResult::kNoPending;
+    } else if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+               errno == ENOMEM) {
+      *result = AcceptResult::kExhausted;
+    } else {
+      *result = AcceptResult::kTransient;
+    }
+    return -1;
+  }
   if (!MakeNonBlockingCloexec(client).ok()) {
     close(client);
+    *result = AcceptResult::kTransient;
     return -1;
   }
   if (endpoint_.kind == Endpoint::Kind::kTcp) {
@@ -180,6 +191,7 @@ int Listener::Accept() {
     // Best-effort: a failed NODELAY costs latency, not correctness.
     (void)setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
+  *result = AcceptResult::kAccepted;
   return client;
 }
 

@@ -36,6 +36,19 @@ struct Endpoint {
 /// path, unknown scheme) is an InvalidArgument, never a guess.
 StatusOr<Endpoint> ParseEndpoint(std::string_view spec);
 
+/// Classifies Listener::Accept so a level-triggered caller can react
+/// correctly: fd exhaustion leaves the un-acceptable connection pending
+/// (the listener stays readable forever — keep watching and the loop
+/// spins), while a per-connection failure consumes it (keep accepting).
+enum class AcceptResult {
+  kAccepted,   // The returned fd is a live connection.
+  kNoPending,  // EAGAIN: backlog empty, wait for the next readiness report.
+  kTransient,  // The pending connection died mid-accept (ECONNABORTED and
+               // friends) or could not be configured; keep accepting.
+  kExhausted,  // EMFILE/ENFILE/ENOBUFS/ENOMEM: no descriptor to accept
+               // into — unwatch the listener and retry after a backoff.
+};
+
 class Listener {
  public:
   /// Binds and listens on `endpoint`, non-blocking + close-on-exec, with
@@ -52,9 +65,9 @@ class Listener {
 
   /// Accepts one pending connection, already non-blocking + cloexec (and
   /// TCP_NODELAY for TCP — response lines are tiny and latency-bound).
-  /// Returns -1 when no connection is pending (EAGAIN) or on a transient
-  /// per-connection error (the loop just retries on the next readiness).
-  int Accept();
+  /// Returns -1 with `*result` classifying why (no pending connection, a
+  /// per-connection transient, or fd exhaustion — see AcceptResult).
+  int Accept(AcceptResult* result);
 
   int fd() const { return fd_; }
   const Endpoint& endpoint() const { return endpoint_; }

@@ -18,6 +18,10 @@ namespace net {
 
 namespace {
 
+// How long a listener that hit fd exhaustion stays unwatched before the
+// loop retries accepting (closes free descriptors in the meantime).
+constexpr int kAcceptBackoffMs = 100;
+
 std::vector<std::string> SplitListenSpecs(const std::string& specs) {
   std::vector<std::string> out;
   for (const std::string& piece : Split(specs, ',')) {
@@ -73,7 +77,7 @@ Status SocketServer::Start() {
     listeners.push_back(std::move(listener).value());
   }
 
-  loop_ = std::make_unique<EventLoop>(Poller::Create(config_.backend));
+  loop_ = std::make_shared<EventLoop>(Poller::Create(config_.backend));
   listeners_ = std::move(listeners);
   // Registrations and timer arming happen before the loop thread exists,
   // which satisfies the loop-thread-only rule (there is exactly one thread
@@ -102,8 +106,13 @@ Status SocketServer::Start() {
 void SocketServer::OnListenerReadable(Listener* listener) {
   if (stopping_.load(std::memory_order_acquire)) return;
   while (true) {
-    const int fd = listener->Accept();
-    if (fd < 0) return;
+    AcceptResult result;
+    const int fd = listener->Accept(&result);
+    if (fd < 0) {
+      if (result == AcceptResult::kTransient) continue;
+      if (result == AcceptResult::kExhausted) PauseAccepting(listener);
+      return;  // kNoPending (or paused): wait for the next readiness.
+    }
     if (config_.so_sndbuf > 0) {
       (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
                        sizeof(config_.so_sndbuf));
@@ -112,7 +121,7 @@ void SocketServer::OnListenerReadable(Listener* listener) {
     options.max_line = config_.max_line;
     options.write_high_water = config_.write_high_water;
     auto connection = std::make_shared<Connection>(
-        fd, loop_.get(), server_, options, &counters_,
+        fd, loop_, server_, options, &counters_,
         [this](int closed_fd) {
           connections_.erase(closed_fd);
           if (stopping_.load(std::memory_order_acquire)) CheckDrainDone();
@@ -125,6 +134,47 @@ void SocketServer::OnListenerReadable(Listener* listener) {
     counters_.accepted.fetch_add(1, std::memory_order_relaxed);
     connections_[fd] = std::move(connection);
   }
+}
+
+void SocketServer::PauseAccepting(Listener* listener) {
+  // Out of descriptors: the pending connection stays in the backlog, so a
+  // level-triggered poller reports the listener readable on every wait —
+  // keeping it watched spins the loop at 100% CPU until an fd frees up.
+  // Unwatch it and retry after a backoff instead.
+  LC_LOG(WARNING) << "accept on " << listener->endpoint().ToString()
+                  << " failed: out of file descriptors; pausing accepts for "
+                  << kAcceptBackoffMs << " ms";
+  loop_->Unwatch(listener->fd());
+  loop_->RunAt(std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(kAcceptBackoffMs),
+               [this, listener] { ResumeAccepting(listener); });
+}
+
+void SocketServer::ResumeAccepting(Listener* listener) {
+  // Shutdown sets stopping_ before it tears the listeners down, so past
+  // this check `listener` is still alive in listeners_.
+  if (stopping_.load(std::memory_order_acquire)) return;
+  const bool alive =
+      std::any_of(listeners_.begin(), listeners_.end(),
+                  [listener](const std::unique_ptr<Listener>& candidate) {
+                    return candidate.get() == listener;
+                  });
+  if (!alive) return;
+  const Status watched = loop_->Watch(
+      listener->fd(), /*want_read=*/true, /*want_write=*/false,
+      [this, listener](const PollEvent&) { OnListenerReadable(listener); });
+  if (!watched.ok()) {
+    LC_LOG(WARNING) << "re-watching paused listener "
+                    << listener->endpoint().ToString()
+                    << " failed: " << watched.ToString() << "; retrying";
+    loop_->RunAt(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(kAcceptBackoffMs),
+                 [this, listener] { ResumeAccepting(listener); });
+    return;
+  }
+  // Catch up on connections that queued while paused; re-pauses if the
+  // descriptor table is still full.
+  OnListenerReadable(listener);
 }
 
 void SocketServer::ArmIdleTimer() {
@@ -234,6 +284,11 @@ void SocketServer::Shutdown() {
 
   loop_->Stop();
   if (thread_.joinable()) thread_.join();
+  // Releasing our reference is safe even with completions still in flight
+  // (a force-closed connection's queue entry that EstimatorServer::Shutdown
+  // resolves later): those reach the loop only through Connection's
+  // weak_ptr, which either fails to lock here on out or briefly pins the
+  // object while the sealed Post drops the task.
   loop_.reset();
 }
 

@@ -119,13 +119,20 @@ class SocketServer {
 
  private:
   void OnListenerReadable(Listener* listener);
+  // fd exhaustion: unwatch the listener (a level-triggered poller would
+  // spin on it) and re-arm via a backoff timer. Loop thread only.
+  void PauseAccepting(Listener* listener);
+  void ResumeAccepting(Listener* listener);
   void ArmIdleTimer();
   void ArmStatsTimer();
   void CheckDrainDone();
 
   EstimatorServer* const server_;
   const SocketServerConfig config_;
-  std::unique_ptr<EventLoop> loop_;
+  // shared_ptr: connections reach the loop cross-thread through weak
+  // handles (Connection::CompleteSlot), so a lane completion that outlives
+  // Shutdown() cannot touch a freed EventLoop.
+  std::shared_ptr<EventLoop> loop_;
   std::vector<std::unique_ptr<Listener>> listeners_;
   // Loop-thread only: the owning reference per live connection.
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;

@@ -11,6 +11,12 @@
 //  - shutdown drain: every request line the kernel accepted is answered
 //    (or typed-rejected) and flushed before the connection closes, even
 //    with a retrain in flight;
+//  - lifetime seams: a lane completion that outlives the transport (its
+//    connection force-closed at the drain deadline, its queue entry
+//    resolved by EstimatorServer::Shutdown afterwards) must not touch the
+//    destroyed event loop;
+//  - fd exhaustion: an accept that hits EMFILE pauses the listener (no
+//    level-triggered spin) and recovers once descriptors free up;
 //  - idle reaping and write backpressure (a client that will not read its
 //    responses pauses its own reads instead of growing server memory);
 //  - Stats coherence with traffic arriving concurrently from Submit
@@ -22,6 +28,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -582,6 +589,81 @@ TEST_F(ServeSocketTest, ShutdownDuringRetrainStillDrains) {
   release.set_value();
   server.Shutdown();  // Joins the retrain thread.
   EXPECT_FALSE(server.retrain_in_flight());
+}
+
+TEST_F(ServeSocketTest, LateLaneCompletionAfterTransportShutdownIsDropped) {
+  // Regression: a connection force-closed at the drain deadline leaves its
+  // queue entry holding a completion into the (now torn down) transport.
+  // When EstimatorServer::Shutdown later resolves that entry, the
+  // completion must drop its flush instead of posting to the destroyed
+  // event loop (a use-after-free under ASan/TSan before the weak-loop fix).
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/0);
+  serve::ServerConfig config;
+  config.lanes = 0;  // Requests queue; only server.Shutdown() resolves them.
+  config.window_us = 0;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+  SocketServerConfig net_config = NetConfig({"tcp:127.0.0.1:0"});
+  net_config.drain_timeout_ms = 100;  // Force-close quickly: the slot can
+                                      // never become ready without lanes.
+  SocketServer net(&server, net_config);
+  ASSERT_TRUE(net.Start().ok());
+
+  LineClient client = LineClient::Connect(net.endpoints()[0]);
+  client.SendAll(QueryPointers(1)[0]->query.Serialize() + "\n");
+  ASSERT_TRUE(WaitFor([&] { return net.net_stats().lines_in >= 1; }));
+
+  net.Shutdown();  // Drain deadline passes; the connection is force-closed.
+  std::string line;
+  EXPECT_FALSE(client.ReadLine(&line)) << "unexpected response: " << line;
+  EXPECT_EQ(net.net_stats().open, 0u);
+
+  // Resolves the still-queued entry via its done() callback, which now
+  // runs against a transport whose loop is gone.
+  server.Shutdown();
+}
+
+TEST_F(ServeSocketTest, FdExhaustionPausesAcceptsAndRecovers) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/0);
+  serve::ServerConfig config;
+  config.lanes = 1;
+  config.window_us = 0;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+  SocketServer net(&server, NetConfig({"tcp:127.0.0.1:0"}));
+  ASSERT_TRUE(net.Start().ok());
+
+  // Clamp the fd table so the client's own socket fits but the server-side
+  // accept does not: the probe fd is the lowest free slot, the client
+  // connect consumes it, and the accept needs one more.
+  rlimit old_limit;
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  const int probe = ::dup(0);
+  ASSERT_GE(probe, 0);
+  ::close(probe);
+  rlimit tight = old_limit;
+  tight.rlim_cur = static_cast<rlim_t>(probe + 1);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  // The kernel completes the handshake into the backlog regardless of
+  // accept, so connect and send succeed; the request bytes wait in the
+  // socket buffer until the listener resumes.
+  LineClient client = LineClient::Connect(net.endpoints()[0]);
+  client.SendAll(QueryPointers(1)[0]->query.Serialize() + "\n");
+
+  // Give the loop a beat to hit EMFILE and pause; the connection cannot
+  // have been accepted — there is no descriptor for it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(net.net_stats().accepted, 0u);
+
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  // The backoff timer re-arms the listener and the pending connection is
+  // served as if nothing happened.
+  ASSERT_TRUE(WaitFor([&] { return net.net_stats().accepted >= 1; }));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_TRUE(StartsWith(line, "EST ")) << line;
+
+  net.Shutdown();
+  server.Shutdown();
 }
 
 TEST_F(ServeSocketTest, IdleConnectionsAreReaped) {
