@@ -29,6 +29,15 @@
 // bit-identical to a direct EstimateAll — the transport cannot change the
 // bits. Recorded in BENCH_pr6_socket.json.
 //
+// Quantized mode (PR 7): `serve_load --quant` publishes an int8 snapshot
+// on the load estimators (ConfigureQuantization over the distinct query
+// set, q-error gate enforced) and measures fp32 vs int8 serving
+// throughput on the cache-miss path. The bit-match gate relaxes to the
+// q-error bound the publication gate admitted — int8 responses cannot be
+// bit-identical to fp32, but every one must stay inside the bound. Works
+// with both transports; the retrain modes are fp32-only and are skipped.
+// Recorded in BENCH_pr7_simd_quant.json.
+//
 // Knobs: LC_SERVE_LOAD_REQUESTS (default 20000), LC_SERVE_LOAD_CLIENTS (8),
 // LC_SERVE_LOAD_DISTINCT (512), LC_SERVE_LOAD_RETRAIN (1 = run the retrain
 // modes), LC_SERVE_LOAD_CONNS (256) and LC_SERVE_LOAD_PIPELINE (8) for
@@ -50,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/quantized_model.h"
 #include "core/trainer.h"
 
 #include "eval/experiment.h"
@@ -63,6 +73,13 @@
 #include "util/timer.h"
 
 namespace {
+
+// The pairwise q-error ratio between a served estimate and the fp32 ground
+// truth — the relaxed gate the quantized mode asserts instead of equality.
+double QError(double a, double b) {
+  const double lo = std::max(1e-9, std::min(a, b));
+  return std::max(a, b) / lo;
+}
 
 struct LoadResult {
   double seconds = 0.0;
@@ -327,14 +344,16 @@ struct SocketLoadResult {
 // have `pipeline` requests in flight simultaneously. Every response is
 // LC_CHECKed bit-identical to `expected` for the query it answered —
 // framing, pipelining and the event loop must not change the bits (or the
-// order).
+// order). When `qerr_bound` > 0 (the --quant mode: int8-scored responses
+// against fp32 ground truth) the gate relaxes to that q-error bound.
 SocketLoadResult RunSocketLoad(lc::MscnEstimator* estimator,
                                const lc::Schema& schema,
                                const lc::SampleSet& samples,
                                const std::vector<std::string>& texts,
                                const std::vector<double>& expected,
                                size_t total_requests, int clients,
-                               size_t conns, size_t pipeline) {
+                               size_t conns, size_t pipeline,
+                               double qerr_bound) {
   // The whole point is conns * pipeline requests in flight at once; size
   // admission for that window so the bench measures the transport, not
   // overload shedding (which would fail the bit-match gate with ERR lines).
@@ -397,8 +416,14 @@ SocketLoadResult RunSocketLoad(lc::MscnEstimator* estimator,
           for (const size_t pick : conn.picks) {
             const std::string line = conn.ReadLine();
             lat.push_back(conn.burst_timer.Seconds() * 1e6);
-            if (!lc::StartsWith(line, "EST ") ||
-                std::strtod(line.c_str() + 4, nullptr) != expected[pick]) {
+            bool matches = lc::StartsWith(line, "EST ");
+            if (matches) {
+              const double got = std::strtod(line.c_str() + 4, nullptr);
+              matches = qerr_bound > 0.0
+                            ? QError(got, expected[pick]) <= qerr_bound
+                            : got == expected[pick];
+            }
+            if (!matches) {
               bit_mismatches.fetch_add(1, std::memory_order_relaxed);
             }
           }
@@ -417,7 +442,10 @@ SocketLoadResult RunSocketLoad(lc::MscnEstimator* estimator,
   server.Shutdown();
   LC_CHECK(bit_mismatches.load() == 0)
       << bit_mismatches.load()
-      << " socket responses diverged from direct EstimateAll";
+      << " socket responses diverged from direct EstimateAll"
+      << (qerr_bound > 0.0
+              ? lc::Format(" beyond the q-error bound %.2f", qerr_bound)
+              : std::string());
 
   std::vector<double> all;
   for (const std::vector<double>& mine : latencies) {
@@ -490,15 +518,18 @@ void PrintJson(std::ostream& os, const char* name, const LoadResult& result) {
 
 int main(int argc, char** argv) {
   bool socket_mode = false;
+  bool quant_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--transport=socket") {
       socket_mode = true;
     } else if (arg == "--transport=direct") {
       socket_mode = false;
+    } else if (arg == "--quant") {
+      quant_mode = true;
     } else {
       std::cerr << "unknown flag: " << arg
-                << " (supported: --transport=direct|socket)\n";
+                << " (supported: --transport=direct|socket, --quant)\n";
       return 2;
     }
   }
@@ -507,6 +538,7 @@ int main(int argc, char** argv) {
   std::cout << (socket_mode
                     ? "=== Serving front-end: socket-transport load ===\n"
                     : "=== Serving front-end: closed-loop load ===\n");
+  if (quant_mode) std::cout << "(--quant: int8 snapshot on the serve path)\n";
   experiment.PrintSetup(std::cout);
 
   const size_t total_requests = static_cast<size_t>(
@@ -539,6 +571,31 @@ int main(int argc, char** argv) {
                            /*cache_capacity=*/0);
   const std::vector<double> expected = direct.EstimateAll(pointers, 64);
 
+  // --quant: the policy and calibration workload every load estimator gets.
+  // The distinct query set doubles as the calibration batch, so the gate
+  // admits exactly the drift the relaxed response gate then asserts. The
+  // default bound is looser than the 1.05 policy default — this is a load
+  // bench, not an accuracy gate — but LC_NN_QUANT_QERR still overrides.
+  lc::QuantPolicy quant_policy = lc::QuantPolicy::FromEnv();
+  std::vector<lc::LabeledQuery> calibration;
+  if (quant_mode) {
+    quant_policy.int8_enabled = true;
+    if (std::getenv("LC_NN_QUANT_QERR") == nullptr) {
+      quant_policy.max_qerr = 1.25;
+    }
+    for (size_t i = 0; i < distinct; ++i) {
+      calibration.push_back(synthetic.queries[i]);
+    }
+  }
+  const double qerr_bound = quant_mode ? quant_policy.max_qerr : 0.0;
+  const auto configure_quant = [&](lc::MscnEstimator& estimator) {
+    if (!quant_mode) return;
+    estimator.ConfigureQuantization(quant_policy, calibration);
+    LC_CHECK(estimator.quantized_active())
+        << "q-error gate refused int8 publication at bound "
+        << quant_policy.max_qerr << " — nothing to measure";
+  };
+
   const lc::serve::ServerConfig server_config =
       lc::serve::ServerConfig::FromEnv();
 
@@ -558,22 +615,32 @@ int main(int argc, char** argv) {
 
     lc::MscnEstimator sock_off(&featurizer, &model, "MSCN",
                                /*cache_capacity=*/0);
+    configure_quant(sock_off);
     const SocketLoadResult off_result =
         RunSocketLoad(&sock_off, schema, samples, texts, expected,
-                      total_requests, clients, conns, pipeline);
+                      total_requests, clients, conns, pipeline, qerr_bound);
     PrintSocketRow("off", off_result);
 
     lc::MscnEstimator sock_on(&featurizer, &model, "MSCN+cache",
                               /*cache_capacity=*/-1);
+    configure_quant(sock_on);
     const SocketLoadResult on_result =
         RunSocketLoad(&sock_on, schema, samples, texts, expected,
-                      total_requests, clients, conns, pipeline);
+                      total_requests, clients, conns, pipeline, qerr_bound);
     PrintSocketRow("on", on_result);
 
-    std::cout << lc::Format(
-        "\nbit-match: all %zu responses over %zu concurrent connections "
-        "identical to direct EstimateAll (cache on and off)\n",
-        off_result.requests + on_result.requests, conns);
+    if (quant_mode) {
+      std::cout << lc::Format(
+          "\nq-error gate: all %zu int8-scored responses over %zu "
+          "concurrent connections within %.2fx of direct EstimateAll "
+          "(cache on and off)\n",
+          off_result.requests + on_result.requests, conns, qerr_bound);
+    } else {
+      std::cout << lc::Format(
+          "\nbit-match: all %zu responses over %zu concurrent connections "
+          "identical to direct EstimateAll (cache on and off)\n",
+          off_result.requests + on_result.requests, conns);
+    }
     std::cout << "\nJSON fragment for BENCH records:\n{\n";
     PrintSocketJson(std::cout, "socket_cache_off", off_result, conns,
                     pipeline);
@@ -592,38 +659,106 @@ int main(int argc, char** argv) {
   std::cout << lc::Format("%-12s %14s %13s %13s %13s %13s\n", "cache",
                           "throughput", "p50", "p95", "p99", "mean");
 
+  // --quant: a plain fp32 pass first, on the same cache-off workload, so
+  // the int8 row below has its baseline.
+  LoadResult fp32_baseline;
+  if (quant_mode) {
+    lc::MscnEstimator fp32_est(&featurizer, &model, "MSCN-fp32",
+                               /*cache_capacity=*/0);
+    fp32_baseline =
+        RunLoad(&fp32_est, schema, samples, texts, total_requests, clients);
+    PrintRow("fp32-off", fp32_baseline);
+  }
+
   lc::MscnEstimator cache_off(&featurizer, &model, "MSCN",
                               /*cache_capacity=*/0);
+  configure_quant(cache_off);
   const LoadResult off =
       RunLoad(&cache_off, schema, samples, texts, total_requests, clients);
-  PrintRow("off", off);
+  PrintRow(quant_mode ? "int8-off" : "off", off);
 
   lc::MscnEstimator cache_on(&featurizer, &model, "MSCN+cache",
                              /*cache_capacity=*/-1);
+  configure_quant(cache_on);
   const LoadResult on =
       RunLoad(&cache_on, schema, samples, texts, total_requests, clients);
-  PrintRow("on", on);
+  PrintRow(quant_mode ? "int8-on" : "on", on);
   lc::PrintCacheCounters(std::cout, cache_on.name(),
                          cache_on.cache_counters());
 
   // Bit-match gate: the server path (parse → validate → relabel → batched
   // EstimateBatch, cache on or off) must reproduce EstimateAll exactly.
+  // Under --quant the server path scores int8 while EstimateAll stays
+  // fp32, so the gate relaxes to the admitted q-error bound instead.
   for (const bool use_cache : {false, true}) {
     lc::MscnEstimator estimator(&featurizer, &model, "verify",
                                 use_cache ? int64_t{4096} : int64_t{0});
+    configure_quant(estimator);
     lc::serve::EstimatorServer server(&estimator, &schema, &samples);
     for (size_t i = 0; i < distinct; ++i) {
       const lc::serve::Response response = server.Submit(texts[i]);
       LC_CHECK(response.status.ok()) << response.status;
-      LC_CHECK(response.estimate == expected[i])
-          << "server estimate diverged from EstimateAll (cache="
-          << (use_cache ? "on" : "off") << ", query " << i << "): "
-          << response.estimate << " vs " << expected[i];
+      if (quant_mode) {
+        LC_CHECK(QError(response.estimate, expected[i]) <= qerr_bound)
+            << "int8 server estimate drifted past the q-error bound "
+            << qerr_bound << " (cache=" << (use_cache ? "on" : "off")
+            << ", query " << i << "): " << response.estimate << " vs "
+            << expected[i];
+      } else {
+        LC_CHECK(response.estimate == expected[i])
+            << "server estimate diverged from EstimateAll (cache="
+            << (use_cache ? "on" : "off") << ", query " << i << "): "
+            << response.estimate << " vs " << expected[i];
+      }
     }
   }
-  std::cout << "\nbit-match: server estimates identical to direct "
-               "EstimateAll over all "
-            << distinct << " distinct queries (cache on and off)\n";
+  if (quant_mode) {
+    std::cout << lc::Format(
+        "\nq-error gate: int8 server estimates within %.2fx of direct "
+        "fp32 EstimateAll over all %zu distinct queries (cache on and "
+        "off)\n",
+        qerr_bound, distinct);
+  } else {
+    std::cout << "\nbit-match: server estimates identical to direct "
+                 "EstimateAll over all "
+              << distinct << " distinct queries (cache on and off)\n";
+  }
+
+  if (quant_mode) {
+    // The drift the gate admitted, measured over the distinct set, plus
+    // the headline fp32→int8 throughput ratio on the cache-miss path.
+    lc::Tape tape;
+    std::vector<double> int8_estimates;
+    cache_off.EstimateBatch(pointers, &tape, &int8_estimates, nullptr);
+    const lc::QuantDrift drift =
+        lc::QuantizationDrift(expected, int8_estimates);
+    const double speedup = fp32_baseline.throughput_qps > 0.0
+                               ? off.throughput_qps /
+                                     fp32_baseline.throughput_qps
+                               : 0.0;
+    std::cout << lc::Format(
+        "quant: published=%llu fallbacks=%llu drift median=%.4f "
+        "p95=%.4f bound=%.2f | int8/fp32 throughput=%.2fx\n",
+        static_cast<unsigned long long>(cache_off.quant_counters().published),
+        static_cast<unsigned long long>(cache_off.quant_counters().fallbacks),
+        drift.median, drift.p95, qerr_bound, speedup);
+    std::cout << "\nJSON fragment for BENCH records:\n{\n";
+    PrintJson(std::cout, "quant_fp32_off", fp32_baseline);
+    std::cout << ",\n";
+    PrintJson(std::cout, "quant_int8_off", off);
+    std::cout << ",\n";
+    PrintJson(std::cout, "quant_int8_on", on);
+    std::cout << lc::Format(
+        ",\n    \"quant_gate\": { \"bound\": %.2f, \"drift_median\": %.4f, "
+        "\"drift_p95\": %.4f, \"int8_speedup\": %.2f, "
+        "\"quantized_swaps\": %llu, \"quant_fallbacks\": %llu }",
+        qerr_bound, drift.median, drift.p95, speedup,
+        static_cast<unsigned long long>(cache_off.quant_counters().published),
+        static_cast<unsigned long long>(
+            cache_off.quant_counters().fallbacks));
+    std::cout << "\n}\n";
+    return 0;  // Retrain modes are fp32-only; their gates assume bit-match.
+  }
 
   if (lc::GetEnvInt("LC_SERVE_LOAD_RETRAIN", 1) == 0) {
     std::cout << "\nJSON fragment for BENCH records:\n{\n";

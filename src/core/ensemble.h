@@ -11,9 +11,11 @@
 #define LC_CORE_ENSEMBLE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/mscn_estimator.h"
+#include "core/quantized_model.h"
 #include "core/trainer.h"
 #include "est/estimator.h"
 #include "util/parallel.h"
@@ -83,6 +85,19 @@ class MscnEnsemble : public CardinalityEstimator {
     return members_.Load();
   }
 
+  /// The int8 member snapshots published alongside the current member set,
+  /// or nullptr when LC_NN_QUANT=off. Unlike MscnEstimator, the ensemble
+  /// holds no calibration workload, so publication here is ungated by a
+  /// q-error bound; the geometric mean over members damps the per-member
+  /// quantization noise instead. Only the batched EstimateAll path serves
+  /// from these — EstimateWithUncertainty stays fp32 so the uncertainty
+  /// signal measures genuine member disagreement, not rounding artifacts.
+  std::shared_ptr<const std::vector<std::shared_ptr<const QuantizedMscnModel>>>
+  quantized_members() const {
+    std::lock_guard<std::mutex> lock(quant_mu_);
+    return quantized_members_;
+  }
+
   int size() const { return static_cast<int>(members_.Load()->size()); }
   /// Reference into the currently published member set. NOT safe against
   /// a concurrent or later SwapMembers: once the handle and every
@@ -93,8 +108,20 @@ class MscnEnsemble : public CardinalityEstimator {
   MscnModel& member(int index);
 
  private:
+  // Quantizes every member of `members` and publishes the snapshot vector
+  // (no-op unless QuantPolicy::FromEnv() enables int8). Runs at
+  // construction and after each SwapMembers, off the serving paths.
+  void PublishQuantizedMembers(
+      const std::shared_ptr<std::vector<MscnModel>>& members);
+
   const Featurizer* featurizer_;
   SwapHandle<std::vector<MscnModel>> members_;
+  // Nullable: non-null only while the quantized path is enabled and a
+  // publication has run. Guarded by quant_mu_ (SwapHandle CHECKs non-null,
+  // so it cannot hold an optional snapshot).
+  mutable std::mutex quant_mu_;
+  std::shared_ptr<const std::vector<std::shared_ptr<const QuantizedMscnModel>>>
+      quantized_members_;
   // Serving workspace shared by all members and reused across calls (see
   // nn/tape.h); makes the ensemble stateful like MscnEstimator — a single
   // instance must not serve concurrent calls.

@@ -99,6 +99,14 @@ class MscnModel {
     normalizer_ = normalizer;
   }
 
+  /// Read access to the four MLP blocks, in forward-pass order. The
+  /// quantized publication path (core/quantized_model.h) snapshots their
+  /// weights; anything else should go through Forward/Predict.
+  const TwoLayerMlp& table_module() const { return table_module_; }
+  const TwoLayerMlp& join_module() const { return join_module_; }
+  const TwoLayerMlp& predicate_module() const { return predicate_module_; }
+  const TwoLayerMlp& output_mlp() const { return output_mlp_; }
+
   /// Serialized model footprint in bytes (paper section 4.7 reports this).
   size_t ByteSize() const;
 

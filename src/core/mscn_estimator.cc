@@ -53,6 +53,12 @@ MscnEstimator::MscnEstimator(const Featurizer* featurizer,
     cache_ = std::make_unique<ShardedLruCache<std::string, CachedEstimate>>(
         static_cast<size_t>(cache_capacity));
   }
+  quant_policy_ = QuantPolicy::FromEnv();
+  if (quant_policy_.int8_enabled) {
+    // No calibration workload exists yet, so this publication is ungated;
+    // ConfigureQuantization installs the gate (and re-publishes) later.
+    PublishQuantized(current);
+  }
 }
 
 double MscnEstimator::Estimate(const LabeledQuery& query) {
@@ -107,7 +113,73 @@ std::shared_ptr<MscnModel> MscnEstimator::SwapModel(
   // superseded model's so no cached entry of any earlier regime can ever
   // read as fresh again (ABA-free lazy retirement).
   fresh->AdvanceRevisionPast(current->revision());
-  return model_.Swap(std::move(fresh));
+  const std::shared_ptr<MscnModel> published = fresh;
+  std::shared_ptr<MscnModel> superseded = model_.Swap(std::move(fresh));
+  // Quantize the newly published weights (after the revision settled, so
+  // the snapshot's tag matches what serving threads compare against).
+  // Until this lands, readers see a revision-mismatched snapshot and score
+  // fp32 — briefly slower, never wrong.
+  PublishQuantized(published);
+  return superseded;
+}
+
+void MscnEstimator::ConfigureQuantization(
+    QuantPolicy policy, std::vector<LabeledQuery> calibration) {
+  {
+    std::lock_guard<std::mutex> lock(quant_mu_);
+    quant_policy_ = policy;
+    quant_calibration_ = std::move(calibration);
+  }
+  PublishQuantized(model_.Load());
+  // fp32-computed cache entries under the current revision must not mix
+  // with int8-computed ones (and vice versa when turning the path off).
+  InvalidateCache();
+}
+
+void MscnEstimator::PublishQuantized(
+    const std::shared_ptr<MscnModel>& model) {
+  QuantPolicy policy;
+  std::vector<LabeledQuery> calibration;
+  {
+    std::lock_guard<std::mutex> lock(quant_mu_);
+    policy = quant_policy_;
+    if (!policy.int8_enabled) {
+      quantized_ = nullptr;
+      return;
+    }
+    calibration = quant_calibration_;
+  }
+  std::shared_ptr<const QuantizedMscnModel> candidate =
+      QuantizedMscnModel::FromModel(*model);
+  if (!calibration.empty()) {
+    std::vector<const LabeledQuery*> pointers;
+    pointers.reserve(calibration.size());
+    for (const LabeledQuery& query : calibration) pointers.push_back(&query);
+    const MscnBatch batch = featurizer_->MakeBatch(pointers, nullptr);
+    std::vector<double> fp32_estimates;
+    std::vector<double> int8_estimates;
+    {
+      // The fp32 reference pass reads live weights; exclude a concurrent
+      // in-place writer the same way the serving paths do.
+      std::shared_lock<std::shared_mutex> lock(model_mu_);
+      Tape tape;
+      model->Predict(batch, &tape, &fp32_estimates);
+    }
+    candidate->Predict(batch, &int8_estimates);
+    const QuantDrift drift =
+        QuantizationDrift(fp32_estimates, int8_estimates);
+    if (drift.p95 > policy.max_qerr || drift.median > policy.max_qerr) {
+      // The quantized weights would degrade estimates past the bound:
+      // refuse publication and keep (fall back to) fp32 serving.
+      quant_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(quant_mu_);
+      quantized_ = nullptr;
+      return;
+    }
+  }
+  quant_published_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(quant_mu_);
+  quantized_ = std::move(candidate);
 }
 
 void MscnEstimator::EstimateBatch(
@@ -150,6 +222,14 @@ void MscnEstimator::EstimateBatch(
   const std::vector<const LabeledQuery*>& to_score =
       cache_ ? misses : queries;
 
+  // int8 snapshot, if one is published; whether it actually serves is
+  // decided below against the revision read under the lock.
+  std::shared_ptr<const QuantizedMscnModel> quant;
+  {
+    std::lock_guard<std::mutex> lock(quant_mu_);
+    quant = quantized_;
+  }
+
   std::vector<double> scored;
   uint64_t revision = 0;
   {
@@ -161,7 +241,15 @@ void MscnEstimator::EstimateBatch(
     std::shared_lock<std::shared_mutex> lock(model_mu_);
     revision = model->revision();
     const MscnBatch batch = featurizer_->MakeBatch(to_score, nullptr);
-    model->Predict(batch, tape, &scored);
+    if (quant != nullptr && quant->source_revision() == revision) {
+      // Quantized serving: the snapshot was built from exactly these
+      // weights (revision matches, and an in-place writer is excluded for
+      // the duration), so every miss in this batch — and thus every cache
+      // insert under this revision — is consistently int8-scored.
+      quant->Predict(batch, &scored);
+    } else {
+      model->Predict(batch, tape, &scored);
+    }
   }
 
   if (!cache_) {

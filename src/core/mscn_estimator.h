@@ -61,9 +61,23 @@
 //    retrain is in flight; the swap path never takes it exclusively at
 //    all.
 
+// Quantized serving (LC_NN_QUANT=int8, off by default): alongside the fp32
+// model the estimator can hold an int8 snapshot (core/quantized_model.h)
+// published at SwapModel time (and at construction / ConfigureQuantization).
+// Publication is gated: when a calibration workload is installed, the
+// candidate snapshot's int8-vs-fp32 q-error drift must stay within
+// QuantPolicy::max_qerr or the estimator counts a fallback and keeps
+// serving fp32. The snapshot is revision-tagged, so EstimateBatch uses it
+// only while the live model still carries the exact revision it was built
+// from — an in-place retrain silently retires it, the same lazy-retirement
+// rule the result cache follows. EstimateAll never uses the snapshot; it
+// stays the fp32 ground-truth path the accuracy gate itself compares
+// against.
+
 #ifndef LC_CORE_MSCN_ESTIMATOR_H_
 #define LC_CORE_MSCN_ESTIMATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -74,6 +88,7 @@
 
 #include "core/featurizer.h"
 #include "core/model.h"
+#include "core/quantized_model.h"
 #include "est/estimator.h"
 #include "nn/tape.h"
 #include "util/lru_cache.h"
@@ -127,7 +142,10 @@ class MscnEstimator : public CardinalityEstimator {
   /// The serving submit path: estimates `queries` as one batch on the
   /// caller-owned `tape`, consulting and filling the result cache.
   /// `estimates` receives one value per query; `cache_hits` (optional) one
-  /// flag per query. Estimates are bit-identical to EstimateAll over the
+  /// flag per query. When the quantized path is active (quantized_active())
+  /// misses score on the int8 snapshot, inside the gate's q-error bound of
+  /// the fp32 values; with quantization off (the default) estimates are
+  /// bit-identical to EstimateAll over the
   /// same queries against the model snapshot that served them: hits replay
   /// a value the same forward-pass math produced earlier under a revision
   /// that is still current, and misses are scored on one snapshot with
@@ -178,6 +196,43 @@ class MscnEstimator : public CardinalityEstimator {
   CacheCounters cache_counters() const;
   size_t cache_capacity() const { return cache_ ? cache_->capacity() : 0; }
 
+  /// Counters of the quantized publication path (serve::Stats surfaces
+  /// them as quantized_swaps / quant_fallbacks).
+  struct QuantCounters {
+    uint64_t published = 0;  // int8 snapshots published.
+    uint64_t fallbacks = 0;  // Publications refused by the q-error gate.
+  };
+  QuantCounters quant_counters() const {
+    return {quant_published_.load(std::memory_order_relaxed),
+            quant_fallbacks_.load(std::memory_order_relaxed)};
+  }
+
+  /// Installs the quantization policy and the calibration workload the
+  /// publication gate scores candidates on, then re-publishes (or retires)
+  /// the snapshot for the currently published model. Copies the queries.
+  /// Drops the result cache so fp32-computed entries cannot mix with
+  /// int8-computed ones under one revision. Call before serving, or
+  /// whenever the calibration workload should track live traffic.
+  void ConfigureQuantization(QuantPolicy policy,
+                             std::vector<LabeledQuery> calibration);
+
+  /// The current int8 snapshot, or null when none is published. May be
+  /// stale relative to the live model (revision mismatch); stale snapshots
+  /// are never served.
+  std::shared_ptr<const QuantizedMscnModel> quantized_snapshot() const {
+    std::lock_guard<std::mutex> lock(quant_mu_);
+    return quantized_;
+  }
+
+  /// True when EstimateBatch misses would be scored on the int8 snapshot
+  /// right now (snapshot present and its revision matches the live model).
+  bool quantized_active() const {
+    const std::shared_ptr<const QuantizedMscnModel> quant =
+        quantized_snapshot();
+    return quant != nullptr &&
+           quant->source_revision() == model_.Load()->revision();
+  }
+
   /// Drops all cached estimates. Model retraining through
   /// Trainer::ContinueTraining or SwapModel is detected automatically
   /// (per-entry weight revisions); call this only after mutating the model
@@ -200,6 +255,12 @@ class MscnEstimator : public CardinalityEstimator {
   bool LookupFresh(const MscnModel& model, const std::string& canonical_key,
                    double* estimate, bool count_miss);
 
+  /// Builds, gates, and publishes (or retires) the int8 snapshot of
+  /// `model`. No-op beyond clearing the snapshot when quantization is off.
+  /// Heavy work (quantization + calibration forward passes) runs outside
+  /// quant_mu_, so serving threads loading the snapshot never stall on it.
+  void PublishQuantized(const std::shared_ptr<MscnModel>& model);
+
   const Featurizer* featurizer_;
   SwapHandle<MscnModel> model_;
   std::string display_name_;
@@ -218,6 +279,17 @@ class MscnEstimator : public CardinalityEstimator {
   // Keyed by the canonical query text itself (not its hash), so a hit is
   // exact by construction.
   std::unique_ptr<ShardedLruCache<std::string, CachedEstimate>> cache_;
+
+  // Quantized serving state. The snapshot is nullable (no snapshot = fp32
+  // serving), so it lives behind a plain mutex rather than a SwapHandle;
+  // loads are a pointer copy under the lock. Policy and calibration are
+  // mutated only by ConfigureQuantization.
+  mutable std::mutex quant_mu_;
+  QuantPolicy quant_policy_;
+  std::vector<LabeledQuery> quant_calibration_;
+  std::shared_ptr<const QuantizedMscnModel> quantized_;
+  std::atomic<uint64_t> quant_published_{0};
+  std::atomic<uint64_t> quant_fallbacks_{0};
 };
 
 }  // namespace lc

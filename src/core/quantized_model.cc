@@ -1,0 +1,237 @@
+#include "core/quantized_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "nn/kernels.h"
+#include "util/check.h"
+#include "util/env.h"
+
+namespace lc {
+
+namespace {
+
+// Per-thread scratch for the quantized forward: quantized activations, row
+// scales, int32 accumulators, and the fp32 intermediates. Sized by resize()
+// per call, so steady-state batches reuse capacity allocation-free.
+struct Workspace {
+  std::vector<int8_t> quantized;
+  std::vector<float> row_scales;
+  std::vector<int32_t> acc;
+  std::vector<float> hidden;
+  std::vector<float> module_out;
+  std::vector<float> pooled_tables;
+  std::vector<float> pooled_joins;
+  std::vector<float> pooled_predicates;
+  std::vector<float> merged;
+  std::vector<float> logits;
+};
+
+Workspace& LocalWorkspace() {
+  static thread_local Workspace workspace;
+  return workspace;
+}
+
+// Masked average pooling, same semantics as Tape::MaskedMean's forward:
+// weighted sum of unmasked rows, scaled by 1/count when count > 0.
+void MaskedMeanPool(const float* x, const float* mask, int64_t batch,
+                    int64_t set_size, int64_t dim, float* out) {
+  const nn::KernelOps& ops = nn::Ops();
+  std::fill(out, out + batch * dim, 0.0f);
+  for (int64_t b = 0; b < batch; ++b) {
+    float count = 0.0f;
+    float* out_row = out + b * dim;
+    for (int64_t s = 0; s < set_size; ++s) {
+      const int64_t row = b * set_size + s;
+      const float weight = mask[row];
+      if (weight == 0.0f) continue;
+      count += weight;
+      ops.axpy(x + row * dim, weight, out_row, dim);
+    }
+    if (count > 0.0f) ops.scale(out_row, 1.0f / count, out_row, dim);
+  }
+}
+
+// One quantized linear: dynamic per-row activation quantization, int8 GEMM,
+// fused dequant + bias (+ ReLU).
+void ApplyLayer(const int8_t* weight, const float* scales,
+                const float* bias, int64_t in, int64_t out_features,
+                const float* x, int64_t rows, bool relu, Workspace* ws,
+                float* out) {
+  const nn::KernelOps& ops = nn::Ops();
+  ws->quantized.resize(static_cast<size_t>(rows * in));
+  ws->row_scales.resize(static_cast<size_t>(rows));
+  ws->acc.resize(static_cast<size_t>(rows * out_features));
+  ops.quantize_rows(x, ws->quantized.data(), ws->row_scales.data(), rows, in);
+  ops.gemm_s8s8_i32(ws->quantized.data(), weight, ws->acc.data(), rows, in,
+                    out_features);
+  ops.dequant_bias_act(ws->acc.data(), ws->row_scales.data(), scales, bias,
+                       out, rows, out_features, relu);
+}
+
+}  // namespace
+
+QuantPolicy QuantPolicy::FromEnv() {
+  QuantPolicy policy;
+  const std::string mode = GetEnvString("LC_NN_QUANT", "off");
+  policy.int8_enabled = (mode == "int8");
+  policy.max_qerr = GetEnvDouble("LC_NN_QUANT_QERR", policy.max_qerr);
+  return policy;
+}
+
+QuantDrift QuantizationDrift(const std::vector<double>& fp32_estimates,
+                             const std::vector<double>& int8_estimates) {
+  LC_CHECK_EQ(fp32_estimates.size(), int8_estimates.size());
+  QuantDrift drift;
+  if (fp32_estimates.empty()) return drift;
+  std::vector<double> ratios;
+  ratios.reserve(fp32_estimates.size());
+  for (size_t i = 0; i < fp32_estimates.size(); ++i) {
+    const double a = std::max(fp32_estimates[i], 1e-9);
+    const double b = std::max(int8_estimates[i], 1e-9);
+    ratios.push_back(std::max(a / b, b / a));
+  }
+  std::sort(ratios.begin(), ratios.end());
+  drift.median = ratios[ratios.size() / 2];
+  const size_t p95_index = std::min(
+      ratios.size() - 1, static_cast<size_t>(0.95 * (ratios.size() - 1) + 0.5));
+  drift.p95 = ratios[p95_index];
+  return drift;
+}
+
+QuantizedMscnModel::Layer QuantizedMscnModel::QuantizeLinear(
+    const Linear& linear) {
+  const Tensor& weight = linear.weight().value;
+  const Tensor& bias = linear.bias().value;
+  Layer layer;
+  layer.in = weight.dim(0);
+  layer.out = weight.dim(1);
+  layer.weight.resize(static_cast<size_t>(layer.in * layer.out));
+  layer.scales.resize(static_cast<size_t>(layer.out));
+  layer.bias.assign(bias.data(), bias.data() + layer.out);
+  // Per-output-channel symmetric scales: column j's maxabs maps to 127.
+  for (int64_t j = 0; j < layer.out; ++j) {
+    float max_abs = 0.0f;
+    for (int64_t i = 0; i < layer.in; ++i) {
+      max_abs = std::max(max_abs, std::fabs(weight[i * layer.out + j]));
+    }
+    if (max_abs == 0.0f) {
+      layer.scales[static_cast<size_t>(j)] = 0.0f;
+      for (int64_t i = 0; i < layer.in; ++i) {
+        layer.weight[static_cast<size_t>(i * layer.out + j)] = 0;
+      }
+      continue;
+    }
+    const float inv = 127.0f / max_abs;
+    layer.scales[static_cast<size_t>(j)] = max_abs / 127.0f;
+    for (int64_t i = 0; i < layer.in; ++i) {
+      int32_t value = static_cast<int32_t>(
+          std::nearbyintf(weight[i * layer.out + j] * inv));
+      value = std::min<int32_t>(127, std::max<int32_t>(-127, value));
+      layer.weight[static_cast<size_t>(i * layer.out + j)] =
+          static_cast<int8_t>(value);
+    }
+  }
+  return layer;
+}
+
+std::shared_ptr<const QuantizedMscnModel> QuantizedMscnModel::FromModel(
+    const MscnModel& model) {
+  auto quantized = std::shared_ptr<QuantizedMscnModel>(new QuantizedMscnModel);
+  quantized->dims_ = model.dims();
+  quantized->normalizer_ = model.normalizer();
+  quantized->hidden_units_ = model.config().hidden_units;
+  quantized->source_revision_ = model.revision();
+  const auto quantize_module = [](const TwoLayerMlp& mlp) {
+    Module module;
+    module.first = QuantizeLinear(mlp.first());
+    module.second = QuantizeLinear(mlp.second());
+    module.activation = mlp.activation();
+    return module;
+  };
+  quantized->table_module_ = quantize_module(model.table_module());
+  quantized->join_module_ = quantize_module(model.join_module());
+  quantized->predicate_module_ = quantize_module(model.predicate_module());
+  quantized->output_mlp_ = quantize_module(model.output_mlp());
+  return quantized;
+}
+
+void QuantizedMscnModel::ApplyModule(const Module& module, const float* x,
+                                     int64_t rows, float* out) const {
+  Workspace& ws = LocalWorkspace();
+  ws.hidden.resize(static_cast<size_t>(rows * module.first.out));
+  ApplyLayer(module.first.weight.data(), module.first.scales.data(),
+             module.first.bias.data(), module.first.in, module.first.out, x,
+             rows, /*relu=*/true, &ws, ws.hidden.data());
+  // kSigmoid's squash runs in fp32 at the caller; kRelu fuses into the
+  // dequant epilogue here.
+  const bool relu = module.activation == OutputActivation::kRelu;
+  ApplyLayer(module.second.weight.data(), module.second.scales.data(),
+             module.second.bias.data(), module.second.in, module.second.out,
+             ws.hidden.data(), rows, relu, &ws, out);
+}
+
+void QuantizedMscnModel::Predict(const MscnBatch& batch,
+                                 std::vector<double>* estimates) const {
+  LC_CHECK(batch.tables.dim(1) == dims_.table_features &&
+           batch.joins.dim(1) == dims_.join_features &&
+           batch.predicates.dim(1) == dims_.predicate_features)
+      << "batch featurized for different dims than the quantized snapshot";
+  Workspace& ws = LocalWorkspace();
+  const int64_t hidden = hidden_units_;
+  const int64_t size = batch.size;
+
+  const auto pool_module =
+      [&](const Module& module, const Tensor& elements, const Tensor& mask,
+          int64_t set_size, std::vector<float>* pooled) {
+        const int64_t rows = size * set_size;
+        ws.module_out.resize(static_cast<size_t>(rows * hidden));
+        ApplyModule(module, elements.data(), rows, ws.module_out.data());
+        pooled->resize(static_cast<size_t>(size * hidden));
+        MaskedMeanPool(ws.module_out.data(), mask.data(), size, set_size,
+                       hidden, pooled->data());
+      };
+  pool_module(table_module_, batch.tables, batch.table_mask,
+              batch.table_set_size, &ws.pooled_tables);
+  pool_module(join_module_, batch.joins, batch.join_mask, batch.join_set_size,
+              &ws.pooled_joins);
+  pool_module(predicate_module_, batch.predicates, batch.predicate_mask,
+              batch.predicate_set_size, &ws.pooled_predicates);
+
+  ws.merged.resize(static_cast<size_t>(size * 3 * hidden));
+  for (int64_t b = 0; b < size; ++b) {
+    float* row = ws.merged.data() + b * 3 * hidden;
+    std::memcpy(row, ws.pooled_tables.data() + b * hidden,
+                static_cast<size_t>(hidden) * sizeof(float));
+    std::memcpy(row + hidden, ws.pooled_joins.data() + b * hidden,
+                static_cast<size_t>(hidden) * sizeof(float));
+    std::memcpy(row + 2 * hidden, ws.pooled_predicates.data() + b * hidden,
+                static_cast<size_t>(hidden) * sizeof(float));
+  }
+
+  ws.logits.resize(static_cast<size_t>(size));
+  ApplyModule(output_mlp_, ws.merged.data(), size, ws.logits.data());
+  estimates->reserve(estimates->size() + static_cast<size_t>(size));
+  for (int64_t i = 0; i < size; ++i) {
+    // Same sigmoid expression as Tape::Sigmoid, then denormalization.
+    const float squashed = 1.0f / (1.0f + std::exp(-ws.logits[i]));
+    estimates->push_back(normalizer_.Denormalize(squashed));
+  }
+}
+
+size_t QuantizedMscnModel::ByteSize() const {
+  size_t total = 0;
+  for (const Module* module : {&table_module_, &join_module_,
+                               &predicate_module_, &output_mlp_}) {
+    for (const Layer* layer : {&module->first, &module->second}) {
+      total += layer->weight.size() * sizeof(int8_t) +
+               layer->scales.size() * sizeof(float) +
+               layer->bias.size() * sizeof(float);
+    }
+  }
+  return total;
+}
+
+}  // namespace lc

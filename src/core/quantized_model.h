@@ -1,0 +1,123 @@
+// Int8 inference-only snapshot of an MscnModel, the artifact the quantized
+// serving path publishes at swap time (see MscnEstimator::SwapModel).
+//
+// Scheme: per-output-channel symmetric weight quantization (one fp32 scale
+// per output column, scale = column maxabs / 127) frozen at publication
+// time, plus dynamic per-row symmetric quantization of the activations at
+// inference time. Every matmul input in the MSCN forward is nonnegative
+// (one-hot/bitmap features in [0, 1], post-ReLU hiddens, masked means of
+// ReLU outputs), so symmetric quantization loses no range to a zero point.
+// The int8 x int8 -> int32 accumulation runs through the backend kernel
+// table (nn/kernels.h: quantize_rows / gemm_s8s8_i32 / dequant_bias_act);
+// pooling, concatenation, the final sigmoid and denormalization stay fp32.
+//
+// Training never sees this type. A snapshot is immutable after FromModel()
+// and tagged with the source model's weight revision: the estimator only
+// uses it while the serving model still has that exact revision, so an
+// in-place retrain (revision bump) silently retires the snapshot back to
+// the fp32 path, the same lazy-retirement contract the result cache uses.
+//
+// Accuracy is gated at publication: QuantizationDrift() measures the
+// median/p95 q-error ratio of int8 vs fp32 estimates over a calibration
+// batch, and the estimator refuses to publish a snapshot whose p95 exceeds
+// QuantPolicy::max_qerr (publication then falls back to fp32 serving and
+// counts a fallback).
+
+#ifndef LC_CORE_QUANTIZED_MODEL_H_
+#define LC_CORE_QUANTIZED_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/featurizer.h"
+#include "core/model.h"
+#include "core/normalizer.h"
+#include "nn/layers.h"
+
+namespace lc {
+
+/// Knobs of the quantized serving path.
+struct QuantPolicy {
+  /// LC_NN_QUANT=off|int8 (default off).
+  bool int8_enabled = false;
+  /// LC_NN_QUANT_QERR (default 1.05): publication bound on the p95 q-error
+  /// ratio between int8 and fp32 estimates over the calibration batch. The
+  /// median is bounded by the same value (it is <= the p95 by definition).
+  double max_qerr = 1.05;
+
+  static QuantPolicy FromEnv();
+};
+
+/// Median / p95 of the pairwise q-error ratio max(a/b, b/a) between two
+/// estimate vectors (the int8-vs-fp32 degradation metric). Inputs must be
+/// the same length; values are floored at a tiny positive constant so a
+/// degenerate estimate cannot divide by zero.
+struct QuantDrift {
+  double median = 0.0;
+  double p95 = 0.0;
+};
+QuantDrift QuantizationDrift(const std::vector<double>& fp32_estimates,
+                             const std::vector<double>& int8_estimates);
+
+class QuantizedMscnModel {
+ public:
+  /// Builds an immutable int8 snapshot of `model`'s current weights, tagged
+  /// with `model.revision()`.
+  static std::shared_ptr<const QuantizedMscnModel> FromModel(
+      const MscnModel& model);
+
+  /// Batched quantized inference, appending denormalized cardinality
+  /// estimates to `estimates`. Thread-safe: scratch buffers live in
+  /// thread-local storage (allocation-free once per-thread batch shapes
+  /// stabilize), mirroring the tape-reuse discipline of the fp32 path.
+  void Predict(const MscnBatch& batch, std::vector<double>* estimates) const;
+
+  /// Revision of the source model at snapshot time; the estimator serves
+  /// from this snapshot only while the live model still matches it.
+  uint64_t source_revision() const { return source_revision_; }
+
+  const FeatureDims& dims() const { return dims_; }
+
+  /// Footprint of the quantized weights + scales + biases in bytes (the
+  /// sec4.7 bench reports this next to the fp32 model size).
+  size_t ByteSize() const;
+
+ private:
+  // One quantized Linear: weight (in, out) row-major int8, per-output-column
+  // fp32 scales, fp32 bias.
+  struct Layer {
+    int64_t in = 0;
+    int64_t out = 0;
+    std::vector<int8_t> weight;
+    std::vector<float> scales;
+    std::vector<float> bias;
+  };
+  struct Module {
+    Layer first;
+    Layer second;
+    OutputActivation activation = OutputActivation::kRelu;
+  };
+
+  QuantizedMscnModel() = default;
+
+  static Layer QuantizeLinear(const Linear& linear);
+  // x (rows, 3h for the output module / feature dims for set modules) ->
+  // out fp32; both layers run quantized, the module's output activation is
+  // applied except for kSigmoid, which the caller applies in fp32.
+  void ApplyModule(const Module& module, const float* x, int64_t rows,
+                   float* out) const;
+
+  FeatureDims dims_;
+  TargetNormalizer normalizer_;
+  int64_t hidden_units_ = 0;
+  uint64_t source_revision_ = 0;
+  Module table_module_;
+  Module join_module_;
+  Module predicate_module_;
+  Module output_mlp_;
+};
+
+}  // namespace lc
+
+#endif  // LC_CORE_QUANTIZED_MODEL_H_

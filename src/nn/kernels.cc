@@ -199,6 +199,37 @@ void AdamUpdateScalar(float* value, const float* grad, float* m, float* v,
   }
 }
 
+void GemmS8S8I32Scalar(const int8_t* a, const int8_t* b, int32_t* c,
+                       int64_t m, int64_t k, int64_t n) {
+  std::fill(c, c + m * n, 0);
+  for (int64_t i = 0; i < m; ++i) {
+    const int8_t* a_row = a + i * k;
+    int32_t* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const int32_t a_ip = a_row[p];
+      if (a_ip == 0) continue;  // Quantized one-hot rows stay mostly zero.
+      const int8_t* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void DequantBiasActScalar(const int32_t* c, const float* a_scales,
+                          const float* b_scales, const float* bias,
+                          float* out, int64_t rows, int64_t cols, bool relu) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const int32_t* c_row = c + i * cols;
+    float* out_row = out + i * cols;
+    const float a_scale = a_scales[i];
+    for (int64_t j = 0; j < cols; ++j) {
+      float value =
+          (static_cast<float>(c_row[j]) * a_scale) * b_scales[j] + bias[j];
+      if (relu && value < 0.0f) value = 0.0f;
+      out_row[j] = value;
+    }
+  }
+}
+
 struct ActiveKernels {
   const KernelOps* ops;
   KernelBackend backend;
@@ -216,7 +247,15 @@ ActiveKernels ResolveFromEnv() {
            "(not compiled in, or the CPU lacks AVX2/FMA)";
     return {avx2, KernelBackend::kAvx2};
   }
+  const KernelOps* avx512 = Avx512KernelOps();
+  if (pick == "avx512") {
+    LC_CHECK(avx512 != nullptr)
+        << "LC_NN_BACKEND=avx512 but AVX-512 kernels are unavailable "
+           "(not compiled in, or the CPU lacks AVX512F/AVX512BW)";
+    return {avx512, KernelBackend::kAvx512};
+  }
   // "auto" (and anything unrecognized): best available.
+  if (avx512 != nullptr) return {avx512, KernelBackend::kAvx512};
   if (avx2 != nullptr) return {avx2, KernelBackend::kAvx2};
   return {&ScalarKernelOps(), KernelBackend::kScalar};
 }
@@ -234,9 +273,41 @@ const char* KernelBackendName(KernelBackend backend) {
       return "scalar";
     case KernelBackend::kAvx2:
       return "avx2";
+    case KernelBackend::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
+
+namespace internal {
+
+void QuantizeRowsScalar(const float* x, int8_t* q, float* scales,
+                        int64_t rows, int64_t cols) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* x_row = x + i * cols;
+    int8_t* q_row = q + i * cols;
+    float max_abs = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      max_abs = std::max(max_abs, std::fabs(x_row[j]));
+    }
+    if (max_abs == 0.0f) {
+      scales[i] = 0.0f;
+      std::fill(q_row, q_row + cols, static_cast<int8_t>(0));
+      continue;
+    }
+    const float inv = 127.0f / max_abs;
+    scales[i] = max_abs / 127.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      // nearbyintf under the default rounding mode is round-to-nearest-even,
+      // the same rounding a vectorized cvtps2dq would apply.
+      int32_t value = static_cast<int32_t>(std::nearbyintf(x_row[j] * inv));
+      value = std::min<int32_t>(127, std::max<int32_t>(-127, value));
+      q_row[j] = static_cast<int8_t>(value);
+    }
+  }
+}
+
+}  // namespace internal
 
 const KernelOps& ScalarKernelOps() {
   static const KernelOps ops = {
@@ -244,6 +315,7 @@ const KernelOps& ScalarKernelOps() {
       BiasAddScalar,  BiasReluScalar,    BiasReluGradScalar,
       ReluScalar,     ReluGradScalar,    AxpyScalar,
       ScaleScalar,    ColSumAccScalar,   AdamUpdateScalar,
+      internal::QuantizeRowsScalar, GemmS8S8I32Scalar, DequantBiasActScalar,
   };
   return ops;
 }
@@ -254,6 +326,18 @@ const KernelOps* Avx2KernelOps() {
       (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
           ? internal::Avx2KernelOpsImpl()
           : nullptr;
+  return ops;
+#else
+  return nullptr;
+#endif
+}
+
+const KernelOps* Avx512KernelOps() {
+#if defined(LC_NN_KERNELS_AVX512)
+  static const KernelOps* ops = (__builtin_cpu_supports("avx512f") &&
+                                 __builtin_cpu_supports("avx512bw"))
+                                    ? internal::Avx512KernelOpsImpl()
+                                    : nullptr;
   return ops;
 #else
   return nullptr;
@@ -274,6 +358,13 @@ void SetKernelBackend(KernelBackend backend) {
       LC_CHECK(avx2 != nullptr) << "AVX2 kernels unavailable on this "
                                    "build/CPU";
       Active() = {avx2, KernelBackend::kAvx2};
+      return;
+    }
+    case KernelBackend::kAvx512: {
+      const KernelOps* avx512 = Avx512KernelOps();
+      LC_CHECK(avx512 != nullptr) << "AVX-512 kernels unavailable on this "
+                                     "build/CPU";
+      Active() = {avx512, KernelBackend::kAvx512};
       return;
     }
   }

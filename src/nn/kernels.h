@@ -1,29 +1,38 @@
 // SIMD kernel backend for the NN substrate.
 //
 // Every hot floating-point loop in the tensor/tape/optimizer stack funnels
-// through the function table defined here. Two implementations exist:
+// through the function table defined here. Three implementations exist:
 //
 //   scalar  portable reference, always compiled; the ground truth that the
 //           parity tests (tests/nn_kernels_test.cc) compare against.
 //   avx2    AVX2+FMA, compiled only where the toolchain supports
 //           -mavx2 -mfma (see src/nn/CMakeLists.txt) and selected at
 //           runtime only when cpuid reports both features.
+//   avx512  AVX-512 (F+BW), compiled per-file with -mavx512f -mavx512bw
+//           and selected at runtime only when cpuid reports both; 16-lane
+//           register-tiled variants of the same kernels.
 //
 // The active table is resolved once, on first use: the best available
-// backend, overridable with LC_NN_BACKEND=scalar|avx2 (handy for A/B
-// benchmarking and for ruling SIMD in or out when debugging numerics).
+// backend (avx512 > avx2 > scalar), overridable with
+// LC_NN_BACKEND=scalar|avx2|avx512 (handy for A/B benchmarking and for
+// ruling SIMD in or out when debugging numerics).
 // Numerics: the axpy-structured kernels (gemm, gemm_sparse_a, gemm_trans_a,
 // axpy, and the elementwise family) accumulate along the reduction
-// dimension in the same element order in both backends, so they differ only
-// by FMA contraction; gemm_trans_b is dot-product shaped and the AVX2
-// version uses 8 lane-parallel partial sums (a tree reassociation).
-// tests/nn_kernels_test.cc pins both kinds of divergence to within 1e-5 on
-// activation-scaled inputs.
+// dimension in the same element order in every backend, so they differ only
+// by FMA contraction; gemm_trans_b is dot-product shaped and the vector
+// versions use lane-parallel partial sums (8 for AVX2, 16 for AVX-512 — a
+// tree reassociation). tests/nn_kernels_test.cc pins both kinds of
+// divergence to within 1e-5 on activation-scaled inputs.
+//
+// The int8 family at the bottom of the table backs the quantized
+// inference-only serving path (core/quantized_model.h). Integer
+// accumulation is exact, so those kernels are bit-identical across
+// backends; only the fp32 dequantization epilogue carries rounding.
 //
 // All kernels take raw row-major float pointers. Buffers may overlap only
 // where a kernel documents in-place operation; none require alignment
-// (unaligned loads are used), but lc::Tensor hands out 32-byte-aligned
-// storage so vector loads never split cache lines.
+// (unaligned loads are used), but lc::Tensor hands out 64-byte-aligned
+// storage so even full AVX-512 vector loads never split cache lines.
 
 #ifndef LC_NN_KERNELS_H_
 #define LC_NN_KERNELS_H_
@@ -33,9 +42,9 @@
 namespace lc {
 namespace nn {
 
-enum class KernelBackend { kScalar, kAvx2 };
+enum class KernelBackend { kScalar, kAvx2, kAvx512 };
 
-/// "scalar" / "avx2".
+/// "scalar" / "avx2" / "avx512".
 const char* KernelBackendName(KernelBackend backend);
 
 /// Table of compute kernels; one instance per backend. Dimension convention
@@ -98,6 +107,32 @@ struct KernelOps {
                       int64_t n, float beta1, float beta2,
                       float learning_rate, float bias1, float bias2,
                       float epsilon);
+
+  // --- int8 inference-only kernels (quantized serving path) --------------
+  // Symmetric quantization: q = round_to_nearest_even(x * (127 / maxabs)),
+  // clamped to [-127, 127], scale = maxabs / 127. Both the 127/maxabs and
+  // maxabs/127 divisions are single fp32 roundings computed identically in
+  // every backend, and the integer matmul accumulates exactly — so
+  // quantize_rows and gemm_s8s8_i32 are bit-identical across backends; the
+  // fp32 dequant epilogue is held to the usual 1e-5 parity.
+
+  /// Per-row dynamic quantization of x(rows,cols): scales[i] = per-row
+  /// maxabs / 127 (0 for an all-zero row, whose q bytes are 0).
+  void (*quantize_rows)(const float* x, int8_t* q, float* scales,
+                        int64_t rows, int64_t cols);
+
+  /// C_i32(m,n) = A_s8(m,k) * B_s8(k,n); always overwrites C. Skips zero
+  /// bytes of A (quantized one-hot/bitmap rows stay mostly zero) — exactness
+  /// of integer math makes the skip free of parity concerns.
+  void (*gemm_s8s8_i32)(const int8_t* a, const int8_t* b, int32_t* c,
+                        int64_t m, int64_t k, int64_t n);
+
+  /// out(rows,cols) = act((float)c * a_scales[i] * b_scales[j] + bias[j]),
+  /// evaluated as ((float)c * a_scales[i]) * b_scales[j] + bias[j] in every
+  /// backend; `relu` selects max(., 0) as the activation.
+  void (*dequant_bias_act)(const int32_t* c, const float* a_scales,
+                           const float* b_scales, const float* bias,
+                           float* out, int64_t rows, int64_t cols, bool relu);
 };
 
 /// The active kernel table (env override applied on first call).
@@ -112,6 +147,10 @@ const KernelOps& ScalarKernelOps();
 /// AVX2+FMA implementation, or null when the build or the CPU lacks it.
 const KernelOps* Avx2KernelOps();
 
+/// AVX-512 (F+BW) implementation, or null when the build or the CPU
+/// lacks it.
+const KernelOps* Avx512KernelOps();
+
 /// Forces the active backend (tests / benchmarks). LC_CHECK-fails if the
 /// requested backend is unavailable.
 void SetKernelBackend(KernelBackend backend);
@@ -119,6 +158,13 @@ void SetKernelBackend(KernelBackend backend);
 namespace internal {
 // Defined in kernels_avx2.cc, present only in AVX2-capable builds.
 const KernelOps* Avx2KernelOpsImpl();
+// Defined in kernels_avx512.cc, present only in AVX-512-capable builds.
+const KernelOps* Avx512KernelOpsImpl();
+// Shared by every backend table: the scalar quantizer is cheap relative to
+// the int8 GEMM it feeds and sharing it keeps cross-backend bit-equality
+// of the quantized operands trivially true.
+void QuantizeRowsScalar(const float* x, int8_t* q, float* scales,
+                        int64_t rows, int64_t cols);
 }  // namespace internal
 
 }  // namespace nn

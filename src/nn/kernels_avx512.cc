@@ -1,0 +1,582 @@
+// AVX-512 kernels (F+BW). This translation unit is compiled with
+// -mavx512f -mavx512bw (see src/nn/CMakeLists.txt) and must only be
+// *called* after a runtime cpuid check — Avx512KernelOps() in kernels.cc
+// guards that.
+//
+// Numerics contract with the scalar backend (same as the AVX2 table): the
+// axpy-structured kernels accumulate along their reduction dimension in
+// the same element order as the scalar reference — the axpy/ikj
+// formulation keeps the reduction sequential per output element regardless
+// of lane width — so their only divergence is FMA rounding. Column
+// remainders use AVX-512 write masks instead of scalar tails: a masked
+// lane simply processes fewer output elements, which leaves the per-element
+// accumulation order untouched. The exception is GemmTransBAvx512, whose
+// dot products use 16 lane-parallel partial sums (tree reassociation). The
+// parity tests pin both to within 1e-5 on activation-scaled inputs.
+
+#include "nn/kernels.h"
+
+#if defined(LC_NN_KERNELS_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace lc {
+namespace nn {
+namespace {
+
+// Write mask for the trailing `n - j` (< 16) columns.
+inline __mmask16 TailMask(int64_t remaining) {
+  return static_cast<__mmask16>((1u << remaining) - 1u);
+}
+
+// C(R, n) += sum_t a(r, t) * b_row(t), with a(r, t) read as
+// a_base[r * a_r_stride + t * a_t_stride] and b_row(t) = b_base + t * n.
+// One register tile covers R rows x 32 columns (two zmm accumulators per
+// row); the reduction loop runs innermost over t so each output element
+// accumulates in t-order. Instantiated for the GEMM (rows of A) and the
+// transposed-A GEMM (columns of A) — the two differ only in the strides.
+template <int R>
+void AxpyTile(const float* a_base, int64_t a_r_stride, int64_t a_t_stride,
+              const float* b_base, float* c_base, int64_t t_len, int64_t n) {
+  int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    __m512 acc0[R];
+    __m512 acc1[R];
+    for (int r = 0; r < R; ++r) {
+      acc0[r] = _mm512_loadu_ps(c_base + r * n + j);
+      acc1[r] = _mm512_loadu_ps(c_base + r * n + j + 16);
+    }
+    for (int64_t t = 0; t < t_len; ++t) {
+      const float* b_row = b_base + t * n + j;
+      const __m512 b0 = _mm512_loadu_ps(b_row);
+      const __m512 b1 = _mm512_loadu_ps(b_row + 16);
+      for (int r = 0; r < R; ++r) {
+        const __m512 av =
+            _mm512_set1_ps(a_base[r * a_r_stride + t * a_t_stride]);
+        acc0[r] = _mm512_fmadd_ps(av, b0, acc0[r]);
+        acc1[r] = _mm512_fmadd_ps(av, b1, acc1[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      _mm512_storeu_ps(c_base + r * n + j, acc0[r]);
+      _mm512_storeu_ps(c_base + r * n + j + 16, acc1[r]);
+    }
+  }
+  for (; j + 16 <= n; j += 16) {
+    __m512 acc[R];
+    for (int r = 0; r < R; ++r) acc[r] = _mm512_loadu_ps(c_base + r * n + j);
+    for (int64_t t = 0; t < t_len; ++t) {
+      const __m512 bv = _mm512_loadu_ps(b_base + t * n + j);
+      for (int r = 0; r < R; ++r) {
+        const __m512 av =
+            _mm512_set1_ps(a_base[r * a_r_stride + t * a_t_stride]);
+        acc[r] = _mm512_fmadd_ps(av, bv, acc[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) _mm512_storeu_ps(c_base + r * n + j, acc[r]);
+  }
+  if (j < n) {
+    const __mmask16 tail = TailMask(n - j);
+    __m512 acc[R];
+    for (int r = 0; r < R; ++r) {
+      acc[r] = _mm512_maskz_loadu_ps(tail, c_base + r * n + j);
+    }
+    for (int64_t t = 0; t < t_len; ++t) {
+      const __m512 bv = _mm512_maskz_loadu_ps(tail, b_base + t * n + j);
+      for (int r = 0; r < R; ++r) {
+        const __m512 av =
+            _mm512_set1_ps(a_base[r * a_r_stride + t * a_t_stride]);
+        acc[r] = _mm512_fmadd_ps(av, bv, acc[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      _mm512_mask_storeu_ps(c_base + r * n + j, tail, acc[r]);
+    }
+  }
+}
+
+// Dispatches the 1..3 leftover rows of a 4-row blocking.
+void AxpyTileRemainder(int64_t rows, const float* a_base, int64_t a_r_stride,
+                       int64_t a_t_stride, const float* b_base, float* c_base,
+                       int64_t t_len, int64_t n) {
+  switch (rows) {
+    case 3:
+      AxpyTile<3>(a_base, a_r_stride, a_t_stride, b_base, c_base, t_len, n);
+      return;
+    case 2:
+      AxpyTile<2>(a_base, a_r_stride, a_t_stride, b_base, c_base, t_len, n);
+      return;
+    case 1:
+      AxpyTile<1>(a_base, a_r_stride, a_t_stride, b_base, c_base, t_len, n);
+      return;
+    default:
+      return;
+  }
+}
+
+void GemmAvx512(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    AxpyTile<4>(a + i * k, /*a_r_stride=*/k, /*a_t_stride=*/1, b, c + i * n,
+                /*t_len=*/k, n);
+  }
+  AxpyTileRemainder(m - i, a + i * k, k, 1, b, c + i * n, k, n);
+}
+
+void GemmTransAAvx512(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n, bool accumulate) {
+  // C(k,n) = A(m,k)^T * B(m,n): same tile with A walked column-wise.
+  if (!accumulate) std::fill(c, c + k * n, 0.0f);
+  int64_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    AxpyTile<4>(a + p, /*a_r_stride=*/1, /*a_t_stride=*/k, b, c + p * n,
+                /*t_len=*/m, n);
+  }
+  AxpyTileRemainder(k - p, a + p, 1, k, b, c + p * n, m, n);
+}
+
+// y += alpha * x, vectorized; the building block of the sparse-A GEMM.
+void AxpyAvx512(const float* x, float alpha, float* y, int64_t n) {
+  const __m512 av = _mm512_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 yv = _mm512_loadu_ps(y + i);
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(av, _mm512_loadu_ps(x + i), yv));
+  }
+  if (i < n) {
+    const __mmask16 tail = TailMask(n - i);
+    const __m512 yv = _mm512_maskz_loadu_ps(tail, y + i);
+    const __m512 xv = _mm512_maskz_loadu_ps(tail, x + i);
+    _mm512_mask_storeu_ps(y + i, tail, _mm512_fmadd_ps(av, xv, yv));
+  }
+}
+
+void GemmSparseAAvx512(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n, bool accumulate) {
+  // Skipping a zero term leaves the accumulator bit-identical (fma with a
+  // zero multiplicand is the identity), so this stays in parity with the
+  // dense kernels on the same input.
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      AxpyAvx512(b + p * n, a_ip, c_row, n);
+    }
+  }
+}
+
+void GemmTransBAvx512(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n, bool accumulate) {
+  // C(m,k) = A(m,n) * B(k,n)^T: rows of both operands are contiguous, so
+  // each output element is a dot product over n, accumulated in 16 lane
+  // partials (masked lanes contribute exact zeros) and tree-reduced at the
+  // end — the one kernel here whose rounding is reassociated relative to
+  // the scalar reference.
+  if (!accumulate) std::fill(c, c + m * k, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * n;
+    float* c_row = c + i * k;
+    int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      __m512 acc[4] = {_mm512_setzero_ps(), _mm512_setzero_ps(),
+                       _mm512_setzero_ps(), _mm512_setzero_ps()};
+      int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        const __m512 av = _mm512_loadu_ps(a_row + j);
+        for (int r = 0; r < 4; ++r) {
+          acc[r] = _mm512_fmadd_ps(
+              av, _mm512_loadu_ps(b + (p + r) * n + j), acc[r]);
+        }
+      }
+      if (j < n) {
+        const __mmask16 tail = TailMask(n - j);
+        const __m512 av = _mm512_maskz_loadu_ps(tail, a_row + j);
+        for (int r = 0; r < 4; ++r) {
+          acc[r] = _mm512_fmadd_ps(
+              av, _mm512_maskz_loadu_ps(tail, b + (p + r) * n + j), acc[r]);
+        }
+      }
+      for (int r = 0; r < 4; ++r) {
+        c_row[p + r] += _mm512_reduce_add_ps(acc[r]);
+      }
+    }
+    for (; p < k; ++p) {
+      const float* b_row = b + p * n;
+      __m512 acc = _mm512_setzero_ps();
+      int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        acc = _mm512_fmadd_ps(_mm512_loadu_ps(a_row + j),
+                              _mm512_loadu_ps(b_row + j), acc);
+      }
+      if (j < n) {
+        const __mmask16 tail = TailMask(n - j);
+        acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(tail, a_row + j),
+                              _mm512_maskz_loadu_ps(tail, b_row + j), acc);
+      }
+      c_row[p] += _mm512_reduce_add_ps(acc);
+    }
+  }
+}
+
+void BiasAddAvx512(const float* x, const float* bias, float* out,
+                   int64_t rows, int64_t cols) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* x_row = x + i * cols;
+    float* out_row = out + i * cols;
+    int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      _mm512_storeu_ps(out_row + j,
+                       _mm512_add_ps(_mm512_loadu_ps(x_row + j),
+                                     _mm512_loadu_ps(bias + j)));
+    }
+    if (j < cols) {
+      const __mmask16 tail = TailMask(cols - j);
+      _mm512_mask_storeu_ps(
+          out_row + j, tail,
+          _mm512_add_ps(_mm512_maskz_loadu_ps(tail, x_row + j),
+                        _mm512_maskz_loadu_ps(tail, bias + j)));
+    }
+  }
+}
+
+void BiasReluAvx512(const float* x, const float* bias, float* out,
+                    int64_t rows, int64_t cols) {
+  const __m512 zero = _mm512_setzero_ps();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* x_row = x + i * cols;
+    float* out_row = out + i * cols;
+    int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      const __m512 sum = _mm512_add_ps(_mm512_loadu_ps(x_row + j),
+                                       _mm512_loadu_ps(bias + j));
+      _mm512_storeu_ps(out_row + j, _mm512_max_ps(sum, zero));
+    }
+    if (j < cols) {
+      const __mmask16 tail = TailMask(cols - j);
+      const __m512 sum =
+          _mm512_add_ps(_mm512_maskz_loadu_ps(tail, x_row + j),
+                        _mm512_maskz_loadu_ps(tail, bias + j));
+      _mm512_mask_storeu_ps(out_row + j, tail, _mm512_max_ps(sum, zero));
+    }
+  }
+}
+
+void BiasReluGradAvx512(const float* out, const float* dout, float* dx,
+                        float* db, int64_t rows, int64_t cols) {
+  const __m512 zero = _mm512_setzero_ps();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* out_row = out + i * cols;
+    const float* dout_row = dout + i * cols;
+    float* dx_row = dx == nullptr ? nullptr : dx + i * cols;
+    int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      const __mmask16 active = _mm512_cmp_ps_mask(
+          _mm512_loadu_ps(out_row + j), zero, _CMP_GT_OQ);
+      const __m512 masked =
+          _mm512_maskz_loadu_ps(active, dout_row + j);
+      if (dx_row != nullptr) {
+        _mm512_storeu_ps(
+            dx_row + j, _mm512_add_ps(_mm512_loadu_ps(dx_row + j), masked));
+      }
+      if (db != nullptr) {
+        _mm512_storeu_ps(db + j,
+                         _mm512_add_ps(_mm512_loadu_ps(db + j), masked));
+      }
+    }
+    if (j < cols) {
+      const __mmask16 tail = TailMask(cols - j);
+      const __mmask16 active =
+          _mm512_mask_cmp_ps_mask(tail, _mm512_maskz_loadu_ps(tail, out_row + j),
+                                  zero, _CMP_GT_OQ);
+      const __m512 masked = _mm512_maskz_loadu_ps(active, dout_row + j);
+      if (dx_row != nullptr) {
+        _mm512_mask_storeu_ps(
+            dx_row + j, tail,
+            _mm512_add_ps(_mm512_maskz_loadu_ps(tail, dx_row + j), masked));
+      }
+      if (db != nullptr) {
+        _mm512_mask_storeu_ps(
+            db + j, tail,
+            _mm512_add_ps(_mm512_maskz_loadu_ps(tail, db + j), masked));
+      }
+    }
+  }
+}
+
+void ReluAvx512(const float* x, float* out, int64_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_max_ps(_mm512_loadu_ps(x + i), zero));
+  }
+  if (i < n) {
+    const __mmask16 tail = TailMask(n - i);
+    _mm512_mask_storeu_ps(
+        out + i, tail,
+        _mm512_max_ps(_mm512_maskz_loadu_ps(tail, x + i), zero));
+  }
+}
+
+void ReluGradAvx512(const float* out, const float* dout, float* dx,
+                    int64_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __mmask16 active =
+        _mm512_cmp_ps_mask(_mm512_loadu_ps(out + i), zero, _CMP_GT_OQ);
+    const __m512 masked = _mm512_maskz_loadu_ps(active, dout + i);
+    _mm512_storeu_ps(dx + i, _mm512_add_ps(_mm512_loadu_ps(dx + i), masked));
+  }
+  if (i < n) {
+    const __mmask16 tail = TailMask(n - i);
+    const __mmask16 active = _mm512_mask_cmp_ps_mask(
+        tail, _mm512_maskz_loadu_ps(tail, out + i), zero, _CMP_GT_OQ);
+    const __m512 masked = _mm512_maskz_loadu_ps(active, dout + i);
+    _mm512_mask_storeu_ps(
+        dx + i, tail,
+        _mm512_add_ps(_mm512_maskz_loadu_ps(tail, dx + i), masked));
+  }
+}
+
+void ScaleAvx512(const float* x, float alpha, float* out, int64_t n) {
+  const __m512 av = _mm512_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_mul_ps(av, _mm512_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __mmask16 tail = TailMask(n - i);
+    _mm512_mask_storeu_ps(
+        out + i, tail, _mm512_mul_ps(av, _mm512_maskz_loadu_ps(tail, x + i)));
+  }
+}
+
+void ColSumAccAvx512(const float* x, float* out, int64_t rows, int64_t cols) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* x_row = x + i * cols;
+    int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      _mm512_storeu_ps(out + j, _mm512_add_ps(_mm512_loadu_ps(out + j),
+                                              _mm512_loadu_ps(x_row + j)));
+    }
+    if (j < cols) {
+      const __mmask16 tail = TailMask(cols - j);
+      _mm512_mask_storeu_ps(
+          out + j, tail,
+          _mm512_add_ps(_mm512_maskz_loadu_ps(tail, out + j),
+                        _mm512_maskz_loadu_ps(tail, x_row + j)));
+    }
+  }
+}
+
+void AdamUpdateAvx512(float* value, const float* grad, float* m, float* v,
+                      int64_t n, float beta1, float beta2,
+                      float learning_rate, float bias1, float bias2,
+                      float epsilon) {
+  const __m512 b1 = _mm512_set1_ps(beta1);
+  const __m512 b2 = _mm512_set1_ps(beta2);
+  const __m512 one_minus_b1 = _mm512_set1_ps(1.0f - beta1);
+  const __m512 one_minus_b2 = _mm512_set1_ps(1.0f - beta2);
+  const __m512 inv1 = _mm512_set1_ps(bias1);
+  const __m512 inv2 = _mm512_set1_ps(bias2);
+  const __m512 lr = _mm512_set1_ps(learning_rate);
+  const __m512 eps = _mm512_set1_ps(epsilon);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 g = _mm512_loadu_ps(grad + i);
+    const __m512 mv = _mm512_add_ps(_mm512_mul_ps(b1, _mm512_loadu_ps(m + i)),
+                                    _mm512_mul_ps(one_minus_b1, g));
+    const __m512 vv =
+        _mm512_add_ps(_mm512_mul_ps(b2, _mm512_loadu_ps(v + i)),
+                      _mm512_mul_ps(one_minus_b2, _mm512_mul_ps(g, g)));
+    _mm512_storeu_ps(m + i, mv);
+    _mm512_storeu_ps(v + i, vv);
+    const __m512 m_hat = _mm512_div_ps(mv, inv1);
+    const __m512 v_hat = _mm512_div_ps(vv, inv2);
+    const __m512 denom = _mm512_add_ps(_mm512_sqrt_ps(v_hat), eps);
+    const __m512 step = _mm512_div_ps(_mm512_mul_ps(lr, m_hat), denom);
+    _mm512_storeu_ps(value + i,
+                     _mm512_sub_ps(_mm512_loadu_ps(value + i), step));
+  }
+  for (; i < n; ++i) {
+    const float g = grad[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * g;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * g * g;
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    value[i] -= learning_rate * m_hat / (std::sqrt(v_hat) + epsilon);
+  }
+}
+
+// Vectorized row quantizer, bit-identical to internal::QuantizeRowsScalar:
+// the max-abs reduction is exact (max is order-free), the per-element
+// multiply is the same IEEE mulss, and cvtps2dq applies the same
+// round-to-nearest-even that nearbyintf does under the default rounding
+// mode. The sub-16 column tail falls back to the identical scalar ops.
+void QuantizeRowsAvx512(const float* x, int8_t* q, float* scales,
+                        int64_t rows, int64_t cols) {
+  // _mm512_and_ps needs AVX512DQ; the integer AND is plain AVX512F.
+  const __m512i abs_mask = _mm512_set1_epi32(0x7fffffff);
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* x_row = x + i * cols;
+    int8_t* q_row = q + i * cols;
+    __m512 vmax = _mm512_setzero_ps();
+    int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      const __m512i bits =
+          _mm512_castps_si512(_mm512_loadu_ps(x_row + j));
+      vmax = _mm512_max_ps(
+          vmax, _mm512_castsi512_ps(_mm512_and_si512(abs_mask, bits)));
+    }
+    float max_abs = _mm512_reduce_max_ps(vmax);
+    for (; j < cols; ++j) {
+      max_abs = std::max(max_abs, std::fabs(x_row[j]));
+    }
+    if (max_abs == 0.0f) {
+      scales[i] = 0.0f;
+      std::fill(q_row, q_row + cols, static_cast<int8_t>(0));
+      continue;
+    }
+    const float inv = 127.0f / max_abs;
+    scales[i] = max_abs / 127.0f;
+    const __m512 vinv = _mm512_set1_ps(inv);
+    const __m512i lo = _mm512_set1_epi32(-127);
+    const __m512i hi = _mm512_set1_epi32(127);
+    j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      const __m512i value =
+          _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(x_row + j), vinv));
+      const __m512i clamped =
+          _mm512_min_epi32(hi, _mm512_max_epi32(lo, value));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(q_row + j),
+                       _mm512_cvtepi32_epi8(clamped));
+    }
+    for (; j < cols; ++j) {
+      int32_t value = static_cast<int32_t>(std::nearbyintf(x_row[j] * inv));
+      value = std::min<int32_t>(127, std::max<int32_t>(-127, value));
+      q_row[j] = static_cast<int8_t>(value);
+    }
+  }
+}
+
+// One row of the int8 GEMM over a block of kVecs 16-column vectors: the
+// output block lives in zmm accumulators across the entire k reduction,
+// so per nonzero a[i,p] only B traffic touches memory (the naive form
+// re-loads and re-stores the C row on every k step and is memory-bound).
+// The template keeps the accumulator count a compile-time constant so GCC
+// register-allocates the array instead of spilling it.
+template <int kVecs>
+void GemmS8S8RowBlock(const int8_t* a_row, const int8_t* b, int32_t* c_out,
+                      int64_t k, int64_t n, int64_t j0) {
+  __m512i acc[kVecs];
+  for (int v = 0; v < kVecs; ++v) acc[v] = _mm512_setzero_si512();
+  for (int64_t p = 0; p < k; ++p) {
+    const int32_t a_ip = a_row[p];
+    if (a_ip == 0) continue;  // Quantized one-hot rows stay mostly zero.
+    const int8_t* b_row = b + p * n + j0;
+    const __m512i av = _mm512_set1_epi32(a_ip);
+    for (int v = 0; v < kVecs; ++v) {
+      const __m128i b8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b_row + v * 16));
+      acc[v] = _mm512_add_epi32(
+          acc[v], _mm512_mullo_epi32(av, _mm512_cvtepi8_epi32(b8)));
+    }
+  }
+  for (int v = 0; v < kVecs; ++v) {
+    _mm512_storeu_si512(c_out + v * 16, acc[v]);
+  }
+}
+
+void GemmS8S8I32Avx512(const int8_t* a, const int8_t* b, int32_t* c,
+                       int64_t m, int64_t k, int64_t n) {
+  // Integer axpy with register-resident output blocks (up to 8 vectors =
+  // 128 columns per block). Accumulation is exact integer math, so block
+  // shape and lane order are irrelevant for cross-backend parity.
+  for (int64_t i = 0; i < m; ++i) {
+    const int8_t* a_row = a + i * k;
+    int32_t* c_row = c + i * n;
+    int64_t j0 = 0;
+    while (j0 + 16 <= n) {
+      const int64_t vecs = std::min<int64_t>((n - j0) / 16, 8);
+      switch (vecs) {
+        case 8: GemmS8S8RowBlock<8>(a_row, b, c_row + j0, k, n, j0); break;
+        case 7: GemmS8S8RowBlock<7>(a_row, b, c_row + j0, k, n, j0); break;
+        case 6: GemmS8S8RowBlock<6>(a_row, b, c_row + j0, k, n, j0); break;
+        case 5: GemmS8S8RowBlock<5>(a_row, b, c_row + j0, k, n, j0); break;
+        case 4: GemmS8S8RowBlock<4>(a_row, b, c_row + j0, k, n, j0); break;
+        case 3: GemmS8S8RowBlock<3>(a_row, b, c_row + j0, k, n, j0); break;
+        case 2: GemmS8S8RowBlock<2>(a_row, b, c_row + j0, k, n, j0); break;
+        default: GemmS8S8RowBlock<1>(a_row, b, c_row + j0, k, n, j0); break;
+      }
+      j0 += vecs * 16;
+    }
+    for (int64_t j = j0; j < n; ++j) {  // Trailing < 16 columns.
+      int32_t sum = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        sum += static_cast<int32_t>(a_row[p]) *
+               static_cast<int32_t>(b[p * n + j]);
+      }
+      c_row[j] = sum;
+    }
+  }
+}
+
+void DequantBiasActAvx512(const int32_t* c, const float* a_scales,
+                          const float* b_scales, const float* bias,
+                          float* out, int64_t rows, int64_t cols, bool relu) {
+  // Same evaluation order as the scalar reference: (cvt(c) * a) * b + bias
+  // with an explicit (unfused) multiply-add, then an optional max with 0.
+  const __m512 zero = _mm512_setzero_ps();
+  for (int64_t i = 0; i < rows; ++i) {
+    const int32_t* c_row = c + i * cols;
+    float* out_row = out + i * cols;
+    const float a_scale = a_scales[i];
+    const __m512 av = _mm512_set1_ps(a_scale);
+    int64_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      const __m512 cv = _mm512_cvtepi32_ps(_mm512_loadu_si512(c_row + j));
+      __m512 value = _mm512_mul_ps(_mm512_mul_ps(cv, av),
+                                   _mm512_loadu_ps(b_scales + j));
+      value = _mm512_add_ps(value, _mm512_loadu_ps(bias + j));
+      if (relu) value = _mm512_max_ps(value, zero);
+      _mm512_storeu_ps(out_row + j, value);
+    }
+    for (; j < cols; ++j) {
+      float value =
+          (static_cast<float>(c_row[j]) * a_scale) * b_scales[j] + bias[j];
+      if (relu && value < 0.0f) value = 0.0f;
+      out_row[j] = value;
+    }
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelOps* Avx512KernelOpsImpl() {
+  static const KernelOps ops = {
+      GemmAvx512,     GemmSparseAAvx512, GemmTransAAvx512, GemmTransBAvx512,
+      BiasAddAvx512,  BiasReluAvx512,    BiasReluGradAvx512,
+      ReluAvx512,     ReluGradAvx512,    AxpyAvx512,
+      ScaleAvx512,    ColSumAccAvx512,   AdamUpdateAvx512,
+      // All three int8 kernels vectorize; QuantizeRowsAvx512 documents why
+      // it stays bit-identical to the scalar quantizer.
+      QuantizeRowsAvx512, GemmS8S8I32Avx512, DequantBiasActAvx512,
+  };
+  return &ops;
+}
+
+}  // namespace internal
+}  // namespace nn
+}  // namespace lc
+
+#endif  // LC_NN_KERNELS_AVX512

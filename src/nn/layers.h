@@ -39,6 +39,8 @@ class Linear {
 
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
 
   /// Serialized byte footprint (see section 4.7 of the paper).
   size_t ByteSize() const;
@@ -74,6 +76,12 @@ class TwoLayerMlp {
   int64_t out_features() const;
 
   std::vector<Parameter*> parameters();
+
+  /// Read access to the individual layers; the quantized serving path
+  /// (core/quantized_model.h) snapshots their weights at publication time.
+  const Linear& first() const { return first_; }
+  const Linear& second() const { return second_; }
+  OutputActivation activation() const { return activation_; }
 
   size_t ByteSize() const;
   void Save(BinaryWriter* writer) const;

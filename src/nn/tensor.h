@@ -2,8 +2,9 @@
 // needs. This module is the substrate standing in for PyTorch: the tensors
 // here carry no autograd state — differentiation lives in nn/tape.h.
 //
-// Storage is 32-byte aligned (kTensorAlignment) so the SIMD backend in
-// nn/kernels.h never splits a vector load across cache lines, and follows a
+// Storage is 64-byte aligned (kTensorAlignment) so the SIMD backend in
+// nn/kernels.h never splits a vector load across cache lines — even a full
+// 64-byte AVX-512 vector — and follows a
 // reusable-capacity model: Resize() shrinks and regrows within the existing
 // allocation without freeing, which lets the tape and model run batch after
 // batch without touching the allocator (see Tape::Reset).
@@ -20,8 +21,9 @@
 
 namespace lc {
 
-/// Alignment (bytes) of every Tensor allocation; one AVX2 vector.
-inline constexpr size_t kTensorAlignment = 32;
+/// Alignment (bytes) of every Tensor allocation; one AVX-512 vector (and
+/// one cache line), so no backend's full-width load straddles lines.
+inline constexpr size_t kTensorAlignment = 64;
 
 /// Row-major dense float tensor with value semantics (copies are deep).
 class Tensor {

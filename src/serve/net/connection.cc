@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <utility>
@@ -16,6 +17,14 @@
 namespace lc {
 namespace serve {
 namespace net {
+
+namespace {
+
+// Most responses one sendmsg gathers. Far below IOV_MAX; a flush with more
+// queued responses simply loops.
+constexpr size_t kMaxWriteIov = 64;
+
+}  // namespace
 
 Connection::Connection(int fd, const std::shared_ptr<EventLoop>& loop,
                        EstimatorServer* server, Options options,
@@ -141,6 +150,11 @@ void Connection::CompleteSlot(uint64_t id, std::string&& response) {
     slot.text = std::move(response);
     slot.text.push_back('\n');
     slot.ready = true;
+    // One flush Post per burst: if a flush is already on its way to the
+    // loop it will pick this slot up too (FlushReady clears the flag
+    // before it harvests, so a completion landing mid-flush re-posts).
+    if (flush_posted_) return;
+    flush_posted_ = true;
   }
   // Hand the flush to the loop thread (completions run on lanes, the
   // retrain thread, or inline on the loop). The shared_ptr keeps the
@@ -160,8 +174,10 @@ void Connection::FlushReady() {
   if (closed_) return;
   {
     std::lock_guard<std::mutex> lock(slots_mu_);
+    flush_posted_ = false;  // Completions from here on need a fresh Post.
     while (!slots_.empty() && slots_.front().ready) {
-      out_.append(slots_.front().text);
+      pending_bytes_ += slots_.front().text.size();
+      pending_out_.push_back(std::move(slots_.front().text));
       counters_->responses_out.fetch_add(1, std::memory_order_relaxed);
       slots_.pop_front();
       ++head_id_;
@@ -169,7 +185,7 @@ void Connection::FlushReady() {
   }
   TryWrite();
   if (closed_) return;
-  if (read_eof_ && out_offset_ == out_.size() && PendingSlots() == 0) {
+  if (read_eof_ && pending_out_.empty() && PendingSlots() == 0) {
     Close();  // Everything owed is on the wire and the peer is done.
     return;
   }
@@ -177,32 +193,52 @@ void Connection::FlushReady() {
 }
 
 void Connection::TryWrite() {
-  while (out_offset_ < out_.size()) {
+  while (!pending_out_.empty()) {
+    // Gather the queued responses into one vectorized send: no coalescing
+    // copy, one syscall for the whole ready burst. sendmsg instead of
+    // writev because only the msg-flavored calls take MSG_NOSIGNAL — a
+    // peer that closed mid-response must surface as EPIPE, not kill the
+    // process with SIGPIPE.
+    struct iovec iov[kMaxWriteIov];
+    size_t iov_count = 0;
+    size_t skip = front_offset_;
+    for (const std::string& chunk : pending_out_) {
+      if (iov_count == kMaxWriteIov) break;
+      iov[iov_count].iov_base = const_cast<char*>(chunk.data()) + skip;
+      iov[iov_count].iov_len = chunk.size() - skip;
+      skip = 0;
+      ++iov_count;
+    }
+    struct msghdr message = {};
+    message.msg_iov = iov;
+    message.msg_iovlen = iov_count;
     ssize_t n;
     do {
-      // MSG_NOSIGNAL: a peer that closed mid-response must surface as
-      // EPIPE, not kill the process with SIGPIPE.
-      n = send(fd_, out_.data() + out_offset_, out_.size() - out_offset_,
-               MSG_NOSIGNAL);
+      n = sendmsg(fd_, &message, MSG_NOSIGNAL);
     } while (n < 0 && errno == EINTR);
+    counters_->write_syscalls.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) {
-      out_offset_ += static_cast<size_t>(n);
       last_activity_ = std::chrono::steady_clock::now();
+      size_t written = static_cast<size_t>(n);
+      while (written > 0) {
+        const size_t front_left = pending_out_.front().size() - front_offset_;
+        if (written < front_left) {
+          front_offset_ += written;
+          break;
+        }
+        written -= front_left;
+        pending_bytes_ -= pending_out_.front().size();
+        pending_out_.pop_front();
+        front_offset_ = 0;
+      }
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     Close();  // EPIPE/ECONNRESET: the peer will never read these bytes.
     return;
   }
-  if (out_offset_ == out_.size()) {
-    out_.clear();
-    out_offset_ = 0;
-  } else if (out_offset_ > (1u << 20)) {
-    out_.erase(0, out_offset_);
-    out_offset_ = 0;
-  }
 
-  const size_t backlog = out_.size() - out_offset_;
+  const size_t backlog = pending_bytes_ - front_offset_;
   if (!read_paused_ && backlog > options_.write_high_water) {
     // Kernel buffer full and a high-water backlog on top: stop framing new
     // requests from this client until it drains what it already asked for.
@@ -216,7 +252,7 @@ void Connection::TryWrite() {
 void Connection::UpdateInterest() {
   if (closed_) return;
   const bool want_read = !read_eof_ && !read_paused_;
-  const bool want_write = out_offset_ < out_.size();
+  const bool want_write = !pending_out_.empty();
   if (want_write == want_write_ && want_read == want_read_) return;
   want_read_ = want_read;
   want_write_ = want_write;
@@ -244,7 +280,7 @@ void Connection::ForceClose() {
 bool Connection::CloseIfIdle(std::chrono::steady_clock::time_point now,
                              std::chrono::milliseconds timeout) {
   if (closed_) return false;
-  const bool owes = PendingSlots() > 0 || out_offset_ < out_.size();
+  const bool owes = PendingSlots() > 0 || !pending_out_.empty();
   if (owes || now - last_activity_ < timeout) return false;
   counters_->reaped_idle.fetch_add(1, std::memory_order_relaxed);
   Close();

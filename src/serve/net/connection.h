@@ -1,7 +1,15 @@
 // One client connection of the socket transport: a non-blocking fd, a
 // LineFramer reassembling request lines from the byte stream, an ordered
 // response-slot queue bridging worker-lane completions back to the event
-// loop, and a buffered writer with read-pausing backpressure.
+// loop, and a gather-writing flusher with read-pausing backpressure.
+//
+// Write path: ready responses stay as the individual strings the slots
+// produced; TryWrite vectorizes them into one sendmsg(2) (sendmsg rather
+// than writev(2), which cannot carry MSG_NOSIGNAL), so a pipelined burst
+// of N responses costs one syscall and zero re-copies, not N of either.
+// CompleteSlot coalesces its cross-thread flush wakeups the same way: a
+// burst of lane completions posts a single FlushReady to the loop
+// (flush_posted_), and that one flush drains the whole ready prefix.
 //
 // Pipelining contract: every completed request line gets exactly one
 // response line, in arrival order. Requests may FINISH out of order (a
@@ -62,6 +70,10 @@ struct NetCounters {
   std::atomic<uint64_t> responses_out{0};   // Response lines queued to the wire.
   std::atomic<uint64_t> oversize_lines{0};  // Lines rejected by the framer.
   std::atomic<uint64_t> read_pauses{0};     // Backpressure engagements.
+  // sendmsg(2) calls issued by connection writers (including short writes
+  // and EAGAINs). responses_out / write_syscalls is the gather factor the
+  // pipelining test asserts on.
+  std::atomic<uint64_t> write_syscalls{0};
 };
 
 class Connection : public std::enable_shared_from_this<Connection> {
@@ -115,10 +127,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool DrainSocketReads();
   void DispatchLine(std::string&& line);
   void CompleteSlot(uint64_t id, std::string&& response);
-  // Moves the ready prefix of the slot queue into the write buffer and
+  // Moves the ready prefix of the slot queue onto the outgoing deque and
   // writes as much as the kernel accepts; manages EPOLLOUT interest, the
   // backpressure pause, and EOF-triggered teardown.
   void FlushReady();
+  // Gather-writes pending_out_ with sendmsg until EAGAIN or empty.
   void TryWrite();
   void UpdateInterest();
   void Close();
@@ -136,8 +149,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::function<void(int)> on_close_;
 
   LineFramer framer_;
-  std::string out_;        // Unsent response bytes.
-  size_t out_offset_ = 0;  // Consumed prefix of out_ (compacted lazily).
+  // Responses queued for the wire, in order, each kept as its own string
+  // so TryWrite can gather-write them without a contiguous re-copy. Loop
+  // thread only.
+  std::deque<std::string> pending_out_;
+  size_t front_offset_ = 0;   // Sent prefix of pending_out_.front().
+  size_t pending_bytes_ = 0;  // Total bytes across pending_out_.
 
   bool closed_ = false;
   bool read_eof_ = false;      // Peer finished sending (or drain stopped reads).
@@ -152,6 +169,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::deque<Slot> slots_;
   uint64_t head_id_ = 0;  // Slot id of slots_.front().
   uint64_t next_id_ = 0;
+  // True while a CompleteSlot-posted flush is on its way to the loop;
+  // later completions in the same burst skip their Post and ride along.
+  bool flush_posted_ = false;
 };
 
 }  // namespace net

@@ -210,7 +210,7 @@ void SocketServer::ArmStatsTimer() {
       LC_LOG(INFO) << "serve stats: " << server_->FormatStatsLine()
                    << Format(" | net: open=%llu accepted=%llu lines=%llu "
                              "responses=%llu oversize=%llu reaped=%llu "
-                             "read_pauses=%llu",
+                             "read_pauses=%llu write_syscalls=%llu",
                              static_cast<unsigned long long>(net.open),
                              static_cast<unsigned long long>(net.accepted),
                              static_cast<unsigned long long>(net.lines_in),
@@ -220,7 +220,9 @@ void SocketServer::ArmStatsTimer() {
                                  net.oversize_lines),
                              static_cast<unsigned long long>(net.reaped_idle),
                              static_cast<unsigned long long>(
-                                 net.read_pauses));
+                                 net.read_pauses),
+                             static_cast<unsigned long long>(
+                                 net.write_syscalls));
       ArmStatsTimer();
     }
   });
@@ -314,6 +316,8 @@ SocketServer::NetStats SocketServer::net_stats() const {
   stats.oversize_lines =
       counters_.oversize_lines.load(std::memory_order_relaxed);
   stats.read_pauses = counters_.read_pauses.load(std::memory_order_relaxed);
+  stats.write_syscalls =
+      counters_.write_syscalls.load(std::memory_order_relaxed);
   stats.open = stats.accepted - std::min(stats.closed, stats.accepted);
   return stats;
 }

@@ -113,6 +113,7 @@ class SocketServer {
     uint64_t responses_out = 0;
     uint64_t oversize_lines = 0;
     uint64_t read_pauses = 0;
+    uint64_t write_syscalls = 0;  // sendmsg gather-writes issued.
     uint64_t open = 0;  // accepted - closed at snapshot time.
   };
   NetStats net_stats() const;

@@ -104,6 +104,11 @@ struct Stats {
   // in-place retrain (the estimator cache's invalidation counter — the
   // observable proof that invalidation is per-entry, not a global wipe).
   uint64_t stale_retirements = 0;
+  // Int8 serving-path publication outcomes (the estimator's quant
+  // counters, populated only when LC_NN_QUANT=int8): snapshots published
+  // at swap time vs. publications refused by the q-error gate.
+  uint64_t quantized_swaps = 0;
+  uint64_t quant_fallbacks = 0;
   RunningStat batch_size;           // Requests per model batch.
   RunningStat queue_wait_us;        // Admission → lane pop.
   RunningStat service_latency_us;   // Admission → reply (lane-served only).

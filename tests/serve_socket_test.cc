@@ -211,6 +211,10 @@ ImdbConfig SmallImdb() {
 class ServeSocketTest : public testing::Test {
  protected:
   static void SetUpTestSuite() {
+    // These tests assert the serve path bit-identical to EstimateAll, a
+    // property an ambient LC_NN_QUANT=int8 deliberately breaks (int8
+    // misses serve within a q-error bound instead). Stay hermetic.
+    unsetenv("LC_NN_QUANT");
     db_ = new Database(GenerateImdb(SmallImdb()));
     executor_ = new Executor(db_);
     samples_ = new SampleSet(db_, 32, 5);
@@ -356,6 +360,57 @@ TEST_F(ServeSocketTest, SingleByteDribbleAndPipelinedBurstAnswerInOrder) {
   EXPECT_GE(net_server.net_stats().lines_in, kBurst + 1);
 
   net_server.Shutdown();
+  server.Shutdown();
+}
+
+// The gather-write contract: a pipelined burst whose responses are all
+// ready together goes to the wire in O(1) sendmsg calls, not one per
+// response. Cache-warmed requests complete inline on the loop thread while
+// the burst is still being framed, so the whole batch is ready when the
+// single post-read flush runs — the syscall delta across the burst is the
+// observable proof of both the iovec gather and the flush coalescing.
+TEST_F(ServeSocketTest, GatherWriteFlushesPipelinedBurstInFewSyscalls) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN",
+                          /*cache_capacity=*/64);
+  serve::ServerConfig config;
+  config.lanes = 2;
+  config.window_us = 0;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+  SocketServer net(&server, NetConfig({"tcp:127.0.0.1:0"}));
+  ASSERT_TRUE(net.Start().ok());
+  LineClient client = LineClient::Connect(net.endpoints()[0]);
+
+  // Warm the estimator cache so every burst line is an admission cache hit
+  // (completes inline during the read drain, never waits on a lane).
+  const size_t kDistinct = 8;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(kDistinct);
+  for (size_t i = 0; i < kDistinct; ++i) {
+    client.SendAll(pointers[i]->query.Serialize() + "\n");
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line));
+  }
+
+  const SocketServer::NetStats before = net.net_stats();
+  const size_t kBurst = 64;
+  std::string burst;
+  for (size_t i = 0; i < kBurst; ++i) {
+    burst += pointers[i % kDistinct]->query.Serialize() + "\n";
+  }
+  client.SendAll(burst);
+  const std::vector<std::string> responses = client.ReadLines(kBurst);
+  ASSERT_EQ(responses.size(), kBurst);
+
+  // Every response received implies every sendmsg already happened.
+  const SocketServer::NetStats after = net.net_stats();
+  EXPECT_EQ(after.responses_out - before.responses_out, kBurst);
+  const uint64_t syscalls = after.write_syscalls - before.write_syscalls;
+  EXPECT_GE(syscalls, 1u);
+  // One flush per read(2) chunk of the burst plus slack; without the
+  // gather this would be ~kBurst.
+  EXPECT_LE(syscalls, 6u) << "gather-write regressed: " << syscalls
+                          << " syscalls for " << kBurst << " responses";
+
+  net.Shutdown();
   server.Shutdown();
 }
 
