@@ -29,6 +29,12 @@
 // bit-identical to a direct EstimateAll — the transport cannot change the
 // bits. Recorded in BENCH_pr6_socket.json.
 //
+// Multi-loop sweep (PR 8): LC_SERVE_LOAD_LOOPS is a comma list of shard
+// counts ("1,2,4"); socket mode reruns the whole load at each count with
+// the transport sharded across that many event-loop threads, keeping the
+// bit-match gate, and reports the per-loop connection division. Recorded
+// in BENCH_pr8_loops.json.
+//
 // Quantized mode (PR 7): `serve_load --quant` publishes an int8 snapshot
 // on the load estimators (ConfigureQuantization over the distinct query
 // set, q-error gate enforced) and measures fp32 vs int8 serving
@@ -40,8 +46,9 @@
 //
 // Knobs: LC_SERVE_LOAD_REQUESTS (default 20000), LC_SERVE_LOAD_CLIENTS (8),
 // LC_SERVE_LOAD_DISTINCT (512), LC_SERVE_LOAD_RETRAIN (1 = run the retrain
-// modes), LC_SERVE_LOAD_CONNS (256) and LC_SERVE_LOAD_PIPELINE (8) for
-// --transport=socket, LC_SERVE_LOAD_RETRAIN_QUERIES (2000),
+// modes), LC_SERVE_LOAD_CONNS (256), LC_SERVE_LOAD_PIPELINE (8) and
+// LC_SERVE_LOAD_LOOPS ("1") for --transport=socket,
+// LC_SERVE_LOAD_RETRAIN_QUERIES (2000),
 // LC_SERVE_LOAD_RETRAIN_EPOCHS (2), plus the server's own LC_SERVE_* set.
 
 #include <sys/socket.h>
@@ -353,7 +360,7 @@ SocketLoadResult RunSocketLoad(lc::MscnEstimator* estimator,
                                const std::vector<double>& expected,
                                size_t total_requests, int clients,
                                size_t conns, size_t pipeline,
-                               double qerr_bound) {
+                               double qerr_bound, int loops) {
   // The whole point is conns * pipeline requests in flight at once; size
   // admission for that window so the bench measures the transport, not
   // overload shedding (which would fail the bit-match gate with ERR lines).
@@ -369,6 +376,7 @@ SocketLoadResult RunSocketLoad(lc::MscnEstimator* estimator,
   net_config.idle_timeout_ms = 0;
   net_config.stats_interval_ms = 0;
   net_config.backend = lc::GetEnvString("LC_SERVE_EVENT_BACKEND", "");
+  net_config.loops = loops;
   lc::serve::net::SocketServer net(&server, net_config);
   const lc::Status started = net.Start();
   LC_CHECK(started.ok()) << started;
@@ -468,25 +476,36 @@ void PrintSocketRow(const char* name, const SocketLoadResult& result) {
       result.mean_us);
 }
 
-void PrintSocketJson(std::ostream& os, const char* name,
+void PrintSocketJson(std::ostream& os, const std::string& name,
                      const SocketLoadResult& result, size_t conns,
-                     size_t pipeline) {
+                     size_t pipeline, int loops) {
+  std::string loop_conns = "[";
+  for (size_t i = 0; i < result.net.loop_conns.size(); ++i) {
+    loop_conns += lc::Format(
+        "%s%llu", i == 0 ? "" : ", ",
+        static_cast<unsigned long long>(result.net.loop_conns[i]));
+  }
+  loop_conns += "]";
   os << lc::Format(
       "    \"%s\": { \"seconds\": %.3f, \"throughput_qps\": %.0f, "
       "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
       "\"mean_us\": %.1f, \"requests\": %zu, \"conns\": %zu, "
-      "\"pipeline\": %zu, \"served\": %llu, \"admission_cache_hits\": %llu, "
+      "\"pipeline\": %zu, \"loops\": %d, \"served\": %llu, "
+      "\"admission_cache_hits\": %llu, "
       "\"model_batches\": %llu, \"mean_batch\": %.2f, \"lines_in\": %llu, "
-      "\"responses_out\": %llu, \"read_pauses\": %llu }",
-      name, result.seconds, result.throughput_qps, result.p50_us,
+      "\"responses_out\": %llu, \"read_pauses\": %llu, "
+      "\"handoffs\": %llu, \"loop_conns\": %s }",
+      name.c_str(), result.seconds, result.throughput_qps, result.p50_us,
       result.p95_us, result.p99_us, result.mean_us, result.requests, conns,
-      pipeline, static_cast<unsigned long long>(result.stats.served),
+      pipeline, loops, static_cast<unsigned long long>(result.stats.served),
       static_cast<unsigned long long>(result.stats.admission_cache_hits),
       static_cast<unsigned long long>(result.stats.model_batches),
       result.stats.batch_size.mean(),
       static_cast<unsigned long long>(result.net.lines_in),
       static_cast<unsigned long long>(result.net.responses_out),
-      static_cast<unsigned long long>(result.net.read_pauses));
+      static_cast<unsigned long long>(result.net.read_pauses),
+      static_cast<unsigned long long>(result.net.handoffs),
+      loop_conns.c_str());
 }
 
 void PrintRow(const char* name, const LoadResult& result) {
@@ -604,49 +623,92 @@ int main(int argc, char** argv) {
         std::max<int64_t>(1, lc::GetEnvInt("LC_SERVE_LOAD_CONNS", 256)));
     const size_t pipeline = static_cast<size_t>(
         std::max<int64_t>(1, lc::GetEnvInt("LC_SERVE_LOAD_PIPELINE", 8)));
+    // The sharding sweep: rerun the whole load at each requested loop
+    // count. Default is the single-loop transport; the BENCH_pr8_loops
+    // record uses "1,2,4".
+    std::vector<int> loop_counts;
+    for (const std::string& piece :
+         lc::Split(lc::GetEnvString("LC_SERVE_LOAD_LOOPS", "1"), ',')) {
+      const std::string trimmed = lc::Trim(piece);
+      if (trimmed.empty()) continue;
+      int32_t value = 0;
+      const lc::Status parsed = lc::ParseInt32(trimmed, 0, &value);
+      LC_CHECK(parsed.ok() && value >= 1)
+          << "bad LC_SERVE_LOAD_LOOPS entry '" << trimmed << "'";
+      loop_counts.push_back(value);
+    }
+    LC_CHECK(!loop_counts.empty()) << "LC_SERVE_LOAD_LOOPS resolved empty";
+
     std::cout << lc::Format(
         "requests=%zu clients=%d conns=%zu pipeline=%zu distinct=%zu | "
         "lanes=%d batch=%zu window=%lldus\n\n",
         total_requests, clients, conns, pipeline, distinct,
         server_config.lanes, server_config.max_batch,
         static_cast<long long>(server_config.window_us));
-    std::cout << lc::Format("%-12s %14s %13s %13s %13s %13s\n", "cache",
-                            "throughput", "p50", "p95", "p99", "mean");
+    std::cout << lc::Format("%-12s %14s %13s %13s %13s %13s\n",
+                            "cache@loops", "throughput", "p50", "p95", "p99",
+                            "mean");
 
-    lc::MscnEstimator sock_off(&featurizer, &model, "MSCN",
-                               /*cache_capacity=*/0);
-    configure_quant(sock_off);
-    const SocketLoadResult off_result =
-        RunSocketLoad(&sock_off, schema, samples, texts, expected,
-                      total_requests, clients, conns, pipeline, qerr_bound);
-    PrintSocketRow("off", off_result);
+    size_t total_gated = 0;
+    std::vector<std::pair<std::string, SocketLoadResult>> records;
+    for (const int loops : loop_counts) {
+      lc::MscnEstimator sock_off(&featurizer, &model, "MSCN",
+                                 /*cache_capacity=*/0);
+      configure_quant(sock_off);
+      const SocketLoadResult off_result = RunSocketLoad(
+          &sock_off, schema, samples, texts, expected, total_requests,
+          clients, conns, pipeline, qerr_bound, loops);
+      PrintSocketRow(lc::Format("off@%d", loops).c_str(), off_result);
 
-    lc::MscnEstimator sock_on(&featurizer, &model, "MSCN+cache",
-                              /*cache_capacity=*/-1);
-    configure_quant(sock_on);
-    const SocketLoadResult on_result =
-        RunSocketLoad(&sock_on, schema, samples, texts, expected,
-                      total_requests, clients, conns, pipeline, qerr_bound);
-    PrintSocketRow("on", on_result);
+      lc::MscnEstimator sock_on(&featurizer, &model, "MSCN+cache",
+                                /*cache_capacity=*/-1);
+      configure_quant(sock_on);
+      const SocketLoadResult on_result = RunSocketLoad(
+          &sock_on, schema, samples, texts, expected, total_requests,
+          clients, conns, pipeline, qerr_bound, loops);
+      PrintSocketRow(lc::Format("on@%d", loops).c_str(), on_result);
+
+      // The work-division evidence: lifetime connections owned per loop.
+      std::string division;
+      for (size_t i = 0; i < on_result.net.loop_conns.size(); ++i) {
+        division += lc::Format("%s%llu", i == 0 ? "" : "/",
+                               static_cast<unsigned long long>(
+                                   on_result.net.loop_conns[i]));
+      }
+      std::cout << lc::Format(
+          "  loops=%d conns-per-loop=%s handoffs=%llu\n", loops,
+          division.c_str(),
+          static_cast<unsigned long long>(on_result.net.handoffs));
+
+      total_gated += off_result.requests + on_result.requests;
+      records.emplace_back(lc::Format("socket_cache_off_loops%d", loops),
+                           off_result);
+      records.emplace_back(lc::Format("socket_cache_on_loops%d", loops),
+                           on_result);
+    }
 
     if (quant_mode) {
       std::cout << lc::Format(
           "\nq-error gate: all %zu int8-scored responses over %zu "
           "concurrent connections within %.2fx of direct EstimateAll "
-          "(cache on and off)\n",
-          off_result.requests + on_result.requests, conns, qerr_bound);
+          "(cache on and off, every loop count)\n",
+          total_gated, conns, qerr_bound);
     } else {
       std::cout << lc::Format(
           "\nbit-match: all %zu responses over %zu concurrent connections "
-          "identical to direct EstimateAll (cache on and off)\n",
-          off_result.requests + on_result.requests, conns);
+          "identical to direct EstimateAll (cache on and off, every loop "
+          "count)\n",
+          total_gated, conns);
     }
     std::cout << "\nJSON fragment for BENCH records:\n{\n";
-    PrintSocketJson(std::cout, "socket_cache_off", off_result, conns,
-                    pipeline);
-    std::cout << ",\n";
-    PrintSocketJson(std::cout, "socket_cache_on", on_result, conns, pipeline);
-    std::cout << "\n}\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+      const int loops = std::stoi(records[i].first.substr(
+          records[i].first.find("loops") + 5));
+      PrintSocketJson(std::cout, records[i].first, records[i].second, conns,
+                      pipeline, loops);
+      std::cout << (i + 1 < records.size() ? ",\n" : "\n");
+    }
+    std::cout << "}\n";
     return 0;
   }
 

@@ -212,11 +212,13 @@ void Connection::TryWrite() {
     struct msghdr message = {};
     message.msg_iov = iov;
     message.msg_iovlen = iov_count;
+    // Counted before the call: an observer who already received the bytes
+    // (the syscall-budget test) must never see the count lag the write.
+    counters_->write_syscalls.fetch_add(1, std::memory_order_relaxed);
     ssize_t n;
     do {
       n = sendmsg(fd_, &message, MSG_NOSIGNAL);
     } while (n < 0 && errno == EINTR);
-    counters_->write_syscalls.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) {
       last_activity_ = std::chrono::steady_clock::now();
       size_t written = static_cast<size_t>(n);

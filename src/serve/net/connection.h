@@ -17,8 +17,11 @@
 // window on a lane), so each dispatched line claims a slot in a FIFO and
 // the writer only flushes the longest ready prefix.
 //
-// Threading: everything except the slot queue is owned by the event-loop
-// thread. Completions fill their slot under the slot mutex from whatever
+// Threading: a connection is pinned to exactly one of the SocketServer's
+// event loops for life (the loop passed to the constructor — for a unix
+// connection that may be a peer loop it was handed off to, never loop 0's
+// accept path again). Everything except the slot queue is owned by that
+// loop's thread. Completions fill their slot under the slot mutex from whatever
 // thread the server ran the callback on (a lane, the retrain thread, or
 // the loop itself) and then Post() a flush back to the loop — the callback
 // holds a shared_ptr to the connection, so a connection that was closed
@@ -74,6 +77,9 @@ struct NetCounters {
   // and EAGAINs). responses_out / write_syscalls is the gather factor the
   // pipelining test asserts on.
   std::atomic<uint64_t> write_syscalls{0};
+  // Unix-domain accepted fds posted from loop 0 to a peer loop (TCP shards
+  // at the kernel via SO_REUSEPORT and never hands off).
+  std::atomic<uint64_t> handoffs{0};
 };
 
 class Connection : public std::enable_shared_from_this<Connection> {

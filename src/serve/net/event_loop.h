@@ -5,7 +5,13 @@
 // Connection object belongs to that thread. Other threads interact with the
 // loop only through Post(), which enqueues a task and wakes the loop via a
 // self-pipe — this is how worker-lane completions re-enter the loop without
-// any fd state needing cross-thread locks.
+// any fd state needing cross-thread locks. The sharded SocketServer runs N
+// of these loops side by side; the rule holds PER LOOP (each owns a
+// disjoint fd set), and Post() is also how an accepted unix fd migrates
+// from loop 0's accept path to the loop that will own it. Posted tasks run
+// in FIFO order per loop — the shutdown rendezvous in socket_server.cc
+// leans on that to prove every handed-off fd is registered before its
+// loop's drain snapshot is taken.
 //
 // The readiness backend is pluggable: epoll(7) on Linux (the default) and a
 // portable poll(2) implementation, selected by LC_SERVE_EVENT_BACKEND. Both

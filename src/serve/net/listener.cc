@@ -92,7 +92,13 @@ StatusOr<Endpoint> ParseEndpoint(std::string_view spec) {
 }
 
 StatusOr<std::unique_ptr<Listener>> Listener::Bind(const Endpoint& endpoint,
-                                                   int backlog) {
+                                                   int backlog,
+                                                   bool reuse_port) {
+  if (reuse_port && endpoint.kind == Endpoint::Kind::kUnix) {
+    return Status::InvalidArgument(
+        "SO_REUSEPORT has no unix-domain semantics; shard unix endpoints "
+        "with the accept-and-hand-off path instead");
+  }
   const int domain =
       endpoint.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
   const int fd = socket(domain, SOCK_STREAM, 0);
@@ -104,6 +110,13 @@ StatusOr<std::unique_ptr<Listener>> Listener::Bind(const Endpoint& endpoint,
     const int one = 1;
     if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
       status = ErrnoStatus("setsockopt(SO_REUSEADDR)");
+    }
+    // Must be set on every listener BEFORE bind: the kernel only admits a
+    // second bind to a busy address when both the existing and the new
+    // socket carry the flag.
+    if (status.ok() && reuse_port &&
+        setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      status = ErrnoStatus("setsockopt(SO_REUSEPORT)");
     }
   }
 

@@ -54,8 +54,16 @@ class Listener {
   /// Binds and listens on `endpoint`, non-blocking + close-on-exec, with
   /// SO_REUSEADDR on TCP. Ephemeral TCP ports are resolved, so
   /// listener->endpoint() is always connectable.
+  ///
+  /// `reuse_port` additionally sets SO_REUSEPORT (TCP only — unix-domain
+  /// sockets have no equivalent semantics and the request is rejected):
+  /// the multi-loop transport binds one listener per event loop to the
+  /// SAME address and the kernel spreads incoming connections across
+  /// them. To shard an ephemeral-port endpoint, bind the first listener
+  /// with port 0, then bind the rest to its resolved endpoint().
   static StatusOr<std::unique_ptr<Listener>> Bind(const Endpoint& endpoint,
-                                                  int backlog);
+                                                  int backlog,
+                                                  bool reuse_port = false);
 
   /// Closes the fd; a unix listener also unlinks its socket file.
   ~Listener();

@@ -1,6 +1,7 @@
 #include "serve/net/socket_server.h"
 
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -19,7 +20,7 @@ namespace net {
 namespace {
 
 // How long a listener that hit fd exhaustion stays unwatched before the
-// loop retries accepting (closes free descriptors in the meantime).
+// owning loop retries accepting (closes free descriptors in the meantime).
 constexpr int kAcceptBackoffMs = 100;
 
 std::vector<std::string> SplitListenSpecs(const std::string& specs) {
@@ -31,11 +32,43 @@ std::vector<std::string> SplitListenSpecs(const std::string& specs) {
   return out;
 }
 
+int ResolveLoops(int configured) {
+  if (configured > 0) return configured;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min<unsigned>(std::max(1u, hardware), 4u));
+}
+
+// Owns a raw accepted fd across an EventLoop::Post handoff: if the task is
+// dropped (the target loop sealed its queue after exiting), the destructor
+// closes the descriptor instead of leaking it. shared_ptr because
+// std::function requires copyable captures.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
 }  // namespace
 
 SocketServerConfig SocketServerConfig::FromEnv() {
   SocketServerConfig config;
   config.listen = SplitListenSpecs(GetEnvString("LC_SERVE_LISTEN", ""));
+  config.loops = static_cast<int>(
+      std::max<int64_t>(0, GetEnvInt("LC_SERVE_LOOPS", config.loops)));
+  config.accept_batch = static_cast<int>(std::max<int64_t>(
+      1, GetEnvInt("LC_SERVE_ACCEPT_BATCH", config.accept_batch)));
   config.max_line = static_cast<size_t>(std::max<int64_t>(
       16, GetEnvInt("LC_SERVE_MAX_LINE",
                     static_cast<int64_t>(config.max_line))));
@@ -66,151 +99,261 @@ Status SocketServer::Start() {
         "no listen endpoints configured (set LC_SERVE_LISTEN or "
         "SocketServerConfig::listen)");
   }
+  loops_ = ResolveLoops(config_.loops);
 
-  std::vector<std::unique_ptr<Listener>> listeners;
+  std::vector<Endpoint> endpoints;
   for (const std::string& spec : config_.listen) {
     StatusOr<Endpoint> endpoint = ParseEndpoint(spec);
     if (!endpoint.ok()) return endpoint.status();
-    StatusOr<std::unique_ptr<Listener>> listener =
-        Listener::Bind(*endpoint, config_.backlog);
-    if (!listener.ok()) return listener.status();
-    listeners.push_back(std::move(listener).value());
+    endpoints.push_back(*endpoint);
   }
 
-  loop_ = std::make_shared<EventLoop>(Poller::Create(config_.backend));
-  listeners_ = std::move(listeners);
-  // Registrations and timer arming happen before the loop thread exists,
+  for (int i = 0; i < loops_; ++i) {
+    auto shard = std::make_unique<LoopShard>();
+    shard->index = i;
+    shard->loop = std::make_shared<EventLoop>(Poller::Create(config_.backend));
+    shards_.push_back(std::move(shard));
+  }
+
+  // Bind. Any failure unwinds everything (no loop thread is running yet,
+  // so plain destruction is the cleanup).
+  Status status = Status::OK();
+  for (const Endpoint& endpoint : endpoints) {
+    if (endpoint.kind == Endpoint::Kind::kUnix) {
+      // One listener on loop 0; accepted fds are handed off round-robin.
+      StatusOr<std::unique_ptr<Listener>> listener =
+          Listener::Bind(endpoint, config_.backlog);
+      if (!listener.ok()) {
+        status = listener.status();
+        break;
+      }
+      resolved_.push_back((*listener)->endpoint());
+      shards_[0]->listeners.push_back(std::move(listener).value());
+      continue;
+    }
+    // TCP: one SO_REUSEPORT listener per loop so the kernel spreads the
+    // accepts. The first bind resolves an ephemeral port; the peers bind
+    // the resolved endpoint. A single loop needs no REUSEPORT at all.
+    const bool reuse_port = loops_ > 1;
+    StatusOr<std::unique_ptr<Listener>> first =
+        Listener::Bind(endpoint, config_.backlog, reuse_port);
+    if (!first.ok()) {
+      status = first.status();
+      break;
+    }
+    const Endpoint resolved = (*first)->endpoint();
+    resolved_.push_back(resolved);
+    shards_[0]->listeners.push_back(std::move(first).value());
+    for (int i = 1; i < loops_ && status.ok(); ++i) {
+      StatusOr<std::unique_ptr<Listener>> peer =
+          Listener::Bind(resolved, config_.backlog, /*reuse_port=*/true);
+      if (!peer.ok()) {
+        status = peer.status();
+        break;
+      }
+      shards_[i]->listeners.push_back(std::move(peer).value());
+    }
+    if (!status.ok()) break;
+  }
+
+  // Registrations and timer arming happen before any loop thread exists,
   // which satisfies the loop-thread-only rule (there is exactly one thread
   // touching loop state at any point in time).
-  for (const std::unique_ptr<Listener>& listener : listeners_) {
-    Listener* raw = listener.get();
-    const Status watched = loop_->Watch(
-        raw->fd(), /*want_read=*/true, /*want_write=*/false,
-        [this, raw](const PollEvent&) { OnListenerReadable(raw); });
-    if (!watched.ok()) {
-      listeners_.clear();
-      loop_.reset();
-      return watched;
+  if (status.ok()) {
+    for (const std::unique_ptr<LoopShard>& shard : shards_) {
+      LoopShard* raw_shard = shard.get();
+      for (const std::unique_ptr<Listener>& listener : shard->listeners) {
+        Listener* raw = listener.get();
+        status = shard->loop->Watch(
+            raw->fd(), /*want_read=*/true, /*want_write=*/false,
+            [this, raw_shard, raw](const PollEvent&) {
+              OnListenerReadable(raw_shard, raw);
+            });
+        if (!status.ok()) break;
+      }
+      if (!status.ok()) break;
+      ArmIdleTimer(raw_shard);
     }
-    LC_LOG(INFO) << "serving line protocol on "
-                 << raw->endpoint().ToString() << " ("
-                 << loop_->poller()->name() << ")";
   }
-  ArmIdleTimer();
+  if (!status.ok()) {
+    shards_.clear();
+    resolved_.clear();
+    return status;
+  }
+
   ArmStatsTimer();
-  thread_ = std::thread([this] { loop_->Run(); });
+  for (const Endpoint& endpoint : resolved_) {
+    LC_LOG(INFO) << "serving line protocol on " << endpoint.ToString()
+                 << " (" << shards_[0]->loop->poller()->name() << ", "
+                 << loops_ << (loops_ == 1 ? " loop)" : " loops)");
+  }
+  for (const std::unique_ptr<LoopShard>& shard : shards_) {
+    EventLoop* loop = shard->loop.get();
+    shard->thread = std::thread([loop] { loop->Run(); });
+  }
   started_ = true;
   return Status::OK();
 }
 
-void SocketServer::OnListenerReadable(Listener* listener) {
+void SocketServer::OnListenerReadable(LoopShard* shard, Listener* listener) {
   if (stopping_.load(std::memory_order_acquire)) return;
-  while (true) {
+  // Drain up to accept_batch pending connections per readiness event:
+  // enough to amortize the wakeup under a connection flood, bounded so the
+  // flood cannot starve this loop's established connections. Level
+  // triggering re-reports a still-non-empty backlog on the next wait.
+  for (int batch = 0; batch < config_.accept_batch; ++batch) {
     AcceptResult result;
     const int fd = listener->Accept(&result);
     if (fd < 0) {
       if (result == AcceptResult::kTransient) continue;
-      if (result == AcceptResult::kExhausted) PauseAccepting(listener);
+      if (result == AcceptResult::kExhausted) PauseAccepting(shard, listener);
       return;  // kNoPending (or paused): wait for the next readiness.
     }
-    if (config_.so_sndbuf > 0) {
-      (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
-                       sizeof(config_.so_sndbuf));
+    if (listener->endpoint().kind == Endpoint::Kind::kUnix && loops_ > 1) {
+      // Unix sockets cannot shard at the kernel (no SO_REUSEPORT), so
+      // loop 0 spreads them itself: round-robin over every loop,
+      // including loop 0. The fd crosses threads through Post; the
+      // Connection is created and registered on its owning loop, so the
+      // single-owner invariant holds from its first Watch.
+      LoopShard* target =
+          shards_[next_handoff_++ % shards_.size()].get();
+      if (target == shard) {
+        AdoptFd(shard, fd);
+      } else {
+        counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
+        auto guard = std::make_shared<FdGuard>(fd);
+        target->loop->Post(
+            [this, target, guard] { AdoptFd(target, guard->Release()); });
+      }
+      continue;
     }
-    Connection::Options options;
-    options.max_line = config_.max_line;
-    options.write_high_water = config_.write_high_water;
-    auto connection = std::make_shared<Connection>(
-        fd, loop_, server_, options, &counters_,
-        [this](int closed_fd) {
-          connections_.erase(closed_fd);
-          if (stopping_.load(std::memory_order_acquire)) CheckDrainDone();
-        });
-    const Status registered = connection->Register();
-    if (!registered.ok()) {
-      LC_LOG(WARNING) << "dropping connection: " << registered.ToString();
-      continue;  // The connection closes itself via its destructor.
-    }
-    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
-    connections_[fd] = std::move(connection);
+    AdoptFd(shard, fd);
   }
 }
 
-void SocketServer::PauseAccepting(Listener* listener) {
+void SocketServer::AdoptFd(LoopShard* shard, int fd) {
+  // Runs on `shard`'s loop thread (directly from its accept path, or as a
+  // posted handoff task). A handoff can land after stopping_ was set; the
+  // connection is registered anyway — its bytes were kernel-accepted, so
+  // the drain contract owes them answers. The shutdown rendezvous
+  // barriers guarantee every handoff task runs BEFORE the shard's drain
+  // task, whose snapshot then includes this connection.
+  if (config_.so_sndbuf > 0) {
+    (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                     sizeof(config_.so_sndbuf));
+  }
+  Connection::Options options;
+  options.max_line = config_.max_line;
+  options.write_high_water = config_.write_high_water;
+  auto connection = std::make_shared<Connection>(
+      fd, shard->loop, server_, options, &counters_,
+      [this, shard](int closed_fd) {
+        shard->connections.erase(closed_fd);
+        MarkLoopDrainedIfDone(shard);
+      });
+  const Status registered = connection->Register();
+  if (!registered.ok()) {
+    LC_LOG(WARNING) << "dropping connection: " << registered.ToString();
+    return;  // The connection closes itself via its destructor.
+  }
+  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  shard->conns.fetch_add(1, std::memory_order_relaxed);
+  shard->connections[fd] = std::move(connection);
+}
+
+void SocketServer::PauseAccepting(LoopShard* shard, Listener* listener) {
   // Out of descriptors: the pending connection stays in the backlog, so a
   // level-triggered poller reports the listener readable on every wait —
   // keeping it watched spins the loop at 100% CPU until an fd frees up.
-  // Unwatch it and retry after a backoff instead.
+  // Unwatch it and retry after a backoff instead. Per loop: the sibling
+  // loops keep accepting on their own listeners if they still have fds.
   LC_LOG(WARNING) << "accept on " << listener->endpoint().ToString()
-                  << " failed: out of file descriptors; pausing accepts for "
+                  << " (loop " << shard->index
+                  << ") failed: out of file descriptors; pausing accepts for "
                   << kAcceptBackoffMs << " ms";
-  loop_->Unwatch(listener->fd());
-  loop_->RunAt(std::chrono::steady_clock::now() +
-                   std::chrono::milliseconds(kAcceptBackoffMs),
-               [this, listener] { ResumeAccepting(listener); });
+  shard->loop->Unwatch(listener->fd());
+  shard->loop->RunAt(
+      std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(kAcceptBackoffMs),
+      [this, shard, listener] { ResumeAccepting(shard, listener); });
 }
 
-void SocketServer::ResumeAccepting(Listener* listener) {
-  // Shutdown sets stopping_ before it tears the listeners down, so past
-  // this check `listener` is still alive in listeners_.
+void SocketServer::ResumeAccepting(LoopShard* shard, Listener* listener) {
+  // Shutdown sets stopping_ before any listener is torn down, so past
+  // this check `listener` is still alive in its shard.
   if (stopping_.load(std::memory_order_acquire)) return;
   const bool alive =
-      std::any_of(listeners_.begin(), listeners_.end(),
+      std::any_of(shard->listeners.begin(), shard->listeners.end(),
                   [listener](const std::unique_ptr<Listener>& candidate) {
                     return candidate.get() == listener;
                   });
   if (!alive) return;
-  const Status watched = loop_->Watch(
+  const Status watched = shard->loop->Watch(
       listener->fd(), /*want_read=*/true, /*want_write=*/false,
-      [this, listener](const PollEvent&) { OnListenerReadable(listener); });
+      [this, shard, listener](const PollEvent&) {
+        OnListenerReadable(shard, listener);
+      });
   if (!watched.ok()) {
     LC_LOG(WARNING) << "re-watching paused listener "
                     << listener->endpoint().ToString()
                     << " failed: " << watched.ToString() << "; retrying";
-    loop_->RunAt(std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(kAcceptBackoffMs),
-                 [this, listener] { ResumeAccepting(listener); });
+    shard->loop->RunAt(
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(kAcceptBackoffMs),
+        [this, shard, listener] { ResumeAccepting(shard, listener); });
     return;
   }
   // Catch up on connections that queued while paused; re-pauses if the
   // descriptor table is still full.
-  OnListenerReadable(listener);
+  OnListenerReadable(shard, listener);
 }
 
-void SocketServer::ArmIdleTimer() {
+void SocketServer::ArmIdleTimer(LoopShard* shard) {
   if (config_.idle_timeout_ms <= 0) return;
-  // Sweep at a quarter of the timeout so reaping lags it by at most ~25%.
+  // Per loop: each loop reaps only the connections it owns, so the sweep
+  // never touches another loop's fds. Sweep at a quarter of the timeout
+  // so reaping lags it by at most ~25%.
   const auto period = std::chrono::milliseconds(
       std::max<int64_t>(1, config_.idle_timeout_ms / 4));
-  loop_->RunAt(std::chrono::steady_clock::now() + period, [this] {
+  shard->loop->RunAt(std::chrono::steady_clock::now() + period,
+                     [this, shard] {
     if (!stopping_.load(std::memory_order_acquire)) {
       const auto now = std::chrono::steady_clock::now();
       const auto timeout =
           std::chrono::milliseconds(config_.idle_timeout_ms);
-      // Snapshot: CloseIfIdle erases from connections_ via on_close.
+      // Snapshot: CloseIfIdle erases from the shard map via on_close.
       std::vector<std::shared_ptr<Connection>> snapshot;
-      snapshot.reserve(connections_.size());
-      for (const auto& [fd, connection] : connections_) {
+      snapshot.reserve(shard->connections.size());
+      for (const auto& [fd, connection] : shard->connections) {
         snapshot.push_back(connection);
       }
       for (const std::shared_ptr<Connection>& connection : snapshot) {
         connection->CloseIfIdle(now, timeout);
       }
-      ArmIdleTimer();
+      ArmIdleTimer(shard);
     }
   });
 }
 
 void SocketServer::ArmStatsTimer() {
   if (config_.stats_interval_ms <= 0) return;
+  // Loop 0 only: N loops must still produce ONE periodic stats line, not
+  // N duplicates. The counters it prints are the shared atomics, so the
+  // line covers every loop's traffic regardless of who emits it.
   const auto period = std::chrono::milliseconds(config_.stats_interval_ms);
-  loop_->RunAt(std::chrono::steady_clock::now() + period, [this] {
+  shards_[0]->loop->RunAt(std::chrono::steady_clock::now() + period, [this] {
     if (!stopping_.load(std::memory_order_acquire)) {
       const NetStats net = net_stats();
+      std::string per_loop;
+      for (size_t i = 0; i < net.loop_conns.size(); ++i) {
+        per_loop += Format("%s%llu", i == 0 ? "" : "/",
+                           static_cast<unsigned long long>(net.loop_conns[i]));
+      }
       LC_LOG(INFO) << "serve stats: " << server_->FormatStatsLine()
                    << Format(" | net: open=%llu accepted=%llu lines=%llu "
                              "responses=%llu oversize=%llu reaped=%llu "
-                             "read_pauses=%llu write_syscalls=%llu",
+                             "read_pauses=%llu write_syscalls=%llu "
+                             "handoffs=%llu loop_conns=%s",
                              static_cast<unsigned long long>(net.open),
                              static_cast<unsigned long long>(net.accepted),
                              static_cast<unsigned long long>(net.lines_in),
@@ -222,87 +365,144 @@ void SocketServer::ArmStatsTimer() {
                              static_cast<unsigned long long>(
                                  net.read_pauses),
                              static_cast<unsigned long long>(
-                                 net.write_syscalls));
+                                 net.write_syscalls),
+                             static_cast<unsigned long long>(net.handoffs),
+                             per_loop.c_str());
       ArmStatsTimer();
     }
   });
 }
 
-void SocketServer::CheckDrainDone() {
-  if (!connections_.empty()) return;
+void SocketServer::RendezvousAllLoops() {
+  // Tasks run FIFO per loop, so once every loop has executed its barrier
+  // task, everything posted to any loop before this call has run too.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = shards_.size();
+  for (const std::unique_ptr<LoopShard>& shard : shards_) {
+    shard->loop->Post([&mu, &cv, &pending] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&pending] { return pending == 0; });
+}
+
+void SocketServer::MarkLoopDrainedIfDone(LoopShard* shard) {
+  // Owning loop thread only. A shard counts as drained once its drain
+  // task ran AND it owns no connections; drain_started gates the mark so
+  // a connection closing during the pre-drain phases cannot report an
+  // empty-but-not-yet-draining shard.
+  if (!shard->drain_started || !shard->connections.empty()) return;
   std::lock_guard<std::mutex> lock(drain_mu_);
-  drained_ = true;
-  drain_cv_.notify_all();
+  if (loop_drained_[static_cast<size_t>(shard->index)]) return;
+  loop_drained_[static_cast<size_t>(shard->index)] = true;
+  if (--undrained_loops_ == 0) drain_cv_.notify_all();
 }
 
 void SocketServer::Shutdown() {
   if (!started_ || shut_down_) return;
   shut_down_ = true;
   stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    loop_drained_.assign(shards_.size(), false);
+    undrained_loops_ = shards_.size();
+  }
 
-  loop_->Post([this] {
-    // No new connections: tear the listeners down first.
-    for (const std::unique_ptr<Listener>& listener : listeners_) {
-      loop_->Unwatch(listener->fd());
-    }
-    listeners_.clear();
-    // Snapshot: BeginDrain may close a connection, erasing it from the map.
-    std::vector<std::shared_ptr<Connection>> snapshot;
-    snapshot.reserve(connections_.size());
-    for (const auto& [fd, connection] : connections_) {
-      snapshot.push_back(connection);
-    }
-    for (const std::shared_ptr<Connection>& connection : snapshot) {
-      connection->BeginDrain();
-    }
-    CheckDrainDone();
-  });
+  // Phase 1 — no new connections: every loop tears its listeners down.
+  // The rendezvous doubles as the handoff fence: after loop 0 ran its
+  // phase-1 task it can never post another handoff.
+  for (const std::unique_ptr<LoopShard>& shard : shards_) {
+    LoopShard* raw = shard.get();
+    raw->loop->Post([raw] {
+      for (const std::unique_ptr<Listener>& listener : raw->listeners) {
+        raw->loop->Unwatch(listener->fd());
+      }
+      raw->listeners.clear();
+    });
+  }
+  RendezvousAllLoops();
 
-  // Wait for every accepted line to be answered and flushed; a wedged
-  // drain (a lane that never completes, a client that never reads) is
-  // force-closed at the deadline rather than parking shutdown forever.
+  // Phase 2 — flush stragglers: handoff fds loop 0 posted before phase 1
+  // may still sit in peer queues; the barrier makes every one of them a
+  // registered connection before any drain snapshot is taken.
+  RendezvousAllLoops();
+
+  // Phase 3 — concurrent drain on all loops: BeginDrain harvests the
+  // request bytes the kernel already accepted on each connection, and
+  // each loop keeps multiplexing until every claimed line has flushed.
+  for (const std::unique_ptr<LoopShard>& shard : shards_) {
+    LoopShard* raw = shard.get();
+    raw->loop->Post([this, raw] {
+      raw->drain_started = true;
+      // Snapshot: BeginDrain may close a connection, erasing it from the
+      // map (which re-checks the mark via on_close).
+      std::vector<std::shared_ptr<Connection>> snapshot;
+      snapshot.reserve(raw->connections.size());
+      for (const auto& [fd, connection] : raw->connections) {
+        snapshot.push_back(connection);
+      }
+      for (const std::shared_ptr<Connection>& connection : snapshot) {
+        connection->BeginDrain();
+      }
+      MarkLoopDrainedIfDone(raw);
+    });
+  }
+
+  // Rendezvous before close: wait until EVERY loop drained. A wedged
+  // drain anywhere (a lane that never completes, a client that never
+  // reads) is force-closed at the shared deadline rather than parking
+  // shutdown forever.
   {
     std::unique_lock<std::mutex> lock(drain_mu_);
     const bool clean = drain_cv_.wait_for(
         lock, std::chrono::milliseconds(config_.drain_timeout_ms),
-        [this] { return drained_; });
+        [this] { return undrained_loops_ == 0; });
     if (!clean) {
       LC_LOG(WARNING) << "socket drain deadline exceeded; force-closing "
-                         "remaining connections";
-      loop_->Post([this] {
-        std::vector<std::shared_ptr<Connection>> snapshot;
-        snapshot.reserve(connections_.size());
-        for (const auto& [fd, connection] : connections_) {
-          snapshot.push_back(connection);
-        }
-        for (const std::shared_ptr<Connection>& connection : snapshot) {
-          connection->ForceClose();
-        }
-        CheckDrainDone();
-      });
-      drain_cv_.wait(lock, [this] { return drained_; });
+                         "remaining connections on all loops";
+      lock.unlock();
+      for (const std::unique_ptr<LoopShard>& shard : shards_) {
+        LoopShard* raw = shard.get();
+        raw->loop->Post([this, raw] {
+          std::vector<std::shared_ptr<Connection>> snapshot;
+          snapshot.reserve(raw->connections.size());
+          for (const auto& [fd, connection] : raw->connections) {
+            snapshot.push_back(connection);
+          }
+          for (const std::shared_ptr<Connection>& connection : snapshot) {
+            connection->ForceClose();
+          }
+          MarkLoopDrainedIfDone(raw);
+        });
+      }
+      lock.lock();
+      drain_cv_.wait(lock, [this] { return undrained_loops_ == 0; });
     }
   }
 
-  loop_->Stop();
-  if (thread_.joinable()) thread_.join();
-  // Releasing our reference is safe even with completions still in flight
-  // (a force-closed connection's queue entry that EstimatorServer::Shutdown
-  // resolves later): those reach the loop only through Connection's
-  // weak_ptr, which either fails to lock here on out or briefly pins the
-  // object while the sealed Post drops the task.
-  loop_.reset();
+  for (const std::unique_ptr<LoopShard>& shard : shards_) {
+    shard->loop->Stop();
+  }
+  for (const std::unique_ptr<LoopShard>& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  // Releasing the loop references is safe even with completions still in
+  // flight (a force-closed connection's queue entry that
+  // EstimatorServer::Shutdown resolves later): those reach their loop
+  // only through Connection's weak_ptr, which either fails to lock here
+  // on out or briefly pins the object while the sealed Post drops the
+  // task. The shard shells stay alive for net_stats' per-loop counters.
+  for (const std::unique_ptr<LoopShard>& shard : shards_) {
+    shard->loop.reset();
+  }
 }
 
 std::vector<Endpoint> SocketServer::endpoints() const {
-  // Stable after Start(): listeners_ only changes inside Shutdown, which
-  // the caller must not race with this accessor.
-  std::vector<Endpoint> endpoints;
-  endpoints.reserve(listeners_.size());
-  for (const std::unique_ptr<Listener>& listener : listeners_) {
-    endpoints.push_back(listener->endpoint());
-  }
-  return endpoints;
+  // Stable after Start(): resolved_ never changes while running.
+  return resolved_;
 }
 
 SocketServer::NetStats SocketServer::net_stats() const {
@@ -318,7 +518,12 @@ SocketServer::NetStats SocketServer::net_stats() const {
   stats.read_pauses = counters_.read_pauses.load(std::memory_order_relaxed);
   stats.write_syscalls =
       counters_.write_syscalls.load(std::memory_order_relaxed);
+  stats.handoffs = counters_.handoffs.load(std::memory_order_relaxed);
   stats.open = stats.accepted - std::min(stats.closed, stats.accepted);
+  stats.loop_conns.reserve(shards_.size());
+  for (const std::unique_ptr<LoopShard>& shard : shards_) {
+    stats.loop_conns.push_back(shard->conns.load(std::memory_order_relaxed));
+  }
   return stats;
 }
 

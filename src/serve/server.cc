@@ -188,6 +188,12 @@ std::string EstimatorServer::HandleLine(std::string_view line) {
 
 void EstimatorServer::HandleLineAsync(
     std::string_view line, std::function<void(std::string)> done) {
+  // Entered concurrently from every transport event loop (plus in-process
+  // Submit callers): nothing below this line may assume a single caller
+  // thread — the counters are atomics, the BoundedQueue admission path
+  // locks internally, and admin verbs take admin_mu_. That keeps the Stats
+  // invariant
+  // exact with the transport sharded across LC_SERVE_LOOPS threads.
   StatusOr<std::string> text = ParseRequestLine(line);
   if (!text.ok()) {
     received_.fetch_add(1, std::memory_order_relaxed);

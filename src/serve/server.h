@@ -82,7 +82,9 @@ struct ServerConfig {
 /// lane stats are merged under their locks).
 ///
 /// Coherence invariant (pinned by tests/serve_socket_test.cc with traffic
-/// arriving concurrently from Submit callers and socket connections): every
+/// arriving concurrently from Submit callers and socket connections — since
+/// the transport sharded, that means from N event-loop threads at once, and
+/// the invariant must stay EXACT across loops, not per loop): every
 /// received request lands in exactly one outcome bucket, so at quiescence
 ///   received == served + rejected_malformed + rejected_overload
 ///               + rejected_shutdown + admin_requests
@@ -161,7 +163,10 @@ class EstimatorServer {
   /// Callback-style HandleLine: `done` receives the one response line
   /// (unterminated) exactly once, inline for rejections/cache hits/admin
   /// and from a lane for batched estimates. The socket transport wires
-  /// this to per-connection response slots.
+  /// this to per-connection response slots. Thread-safe and called
+  /// concurrently from every transport event loop (LC_SERVE_LOOPS of
+  /// them); "inline" then means on whichever loop thread delivered the
+  /// line, so a callback must not assume a particular loop.
   void HandleLineAsync(std::string_view line,
                        std::function<void(std::string)> done);
 

@@ -20,11 +20,19 @@
 //  - idle reaping and write backpressure (a client that will not read its
 //    responses pauses its own reads instead of growing server memory);
 //  - Stats coherence with traffic arriving concurrently from Submit
-//    callers and socket connections (the received == Σ buckets invariant).
+//    callers and socket connections (the received == Σ buckets invariant);
+//  - multi-loop sharding (the MultiLoop* and UnixHandoff* tests force
+//    LC_SERVE_LOOPS=4): bit-match and ordered pipelining with connections
+//    spread across 4 event loops, the unix accept-and-hand-off round-robin
+//    actually distributing, concurrent per-loop drain at shutdown, and the
+//    stats invariant staying exact with N loops feeding the server at once.
 //
-// Runs under TSan in CI (the ci.yml tsan job): the event loop, the lane
-// completions crossing into connection slots, and the counters are the
-// synchronization under test.
+// Runs under TSan in CI (the ci.yml tsan job), both at LC_SERVE_LOOPS=1
+// and LC_SERVE_LOOPS=4: the event loops, the lane completions crossing
+// into connection slots, the unix fd handoff, and the counters are the
+// synchronization under test. The whole legacy suite also honors
+// LC_SERVE_LOOPS via NetConfig, so the 4-loop CI run re-exercises every
+// single-loop scenario on the sharded transport.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -185,8 +193,10 @@ SocketServerConfig NetConfig(std::vector<std::string> listen) {
   config.idle_timeout_ms = 0;   // Tests that reap opt in explicitly.
   config.stats_interval_ms = 0; // Tests that log opt in explicitly.
   config.drain_timeout_ms = 20000;
-  // Honor the backend knob so CI can run this whole suite over poll(2).
+  // Honor the backend and loop-count knobs so CI can run this whole suite
+  // over poll(2) and with the transport sharded across 4 loops.
   config.backend = GetEnvString("LC_SERVE_EVENT_BACKEND", "");
+  config.loops = static_cast<int>(GetEnvInt("LC_SERVE_LOOPS", 1));
   return config;
 }
 
@@ -892,6 +902,303 @@ TEST_F(ServeSocketTest, StatsStayCoherentUnderMixedSubmitAndSocketTraffic) {
   EXPECT_EQ(stats.admin_requests, kSubmitThreads * 20 + kSocketThreads * 30);
   EXPECT_EQ(stats.rejected_malformed,
             kSubmitThreads * 20 + kSocketThreads * 15);
+
+  net.Shutdown();
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-loop sharding (the PR 8 tentpole): every test below forces
+// LC_SERVE_LOOPS=4 regardless of the ambient env, over tcp (SO_REUSEPORT
+// kernel distribution) and unix (loop-0 accept + round-robin handoff).
+
+SocketServerConfig FourLoopConfig(std::vector<std::string> listen) {
+  SocketServerConfig config = NetConfig(std::move(listen));
+  config.loops = 4;
+  return config;
+}
+
+TEST_F(ServeSocketTest, MultiLoopServesBitIdenticalOverTcpAndUnix) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/64);
+  serve::ServerConfig config;
+  config.lanes = 2;
+  config.window_us = 50;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+  const std::string unix_path = UnixPath("mloop_both");
+  SocketServer net(&server,
+                   FourLoopConfig({"tcp:127.0.0.1:0", "unix:" + unix_path}));
+  ASSERT_TRUE(net.Start().ok());
+  ASSERT_EQ(net.loops(), 4);
+  const std::vector<Endpoint> endpoints = net.endpoints();
+  ASSERT_EQ(endpoints.size(), 2u);  // One resolved endpoint per SPEC, not
+  ASSERT_GT(endpoints[0].port, 0);  // one per SO_REUSEPORT listener.
+
+  const size_t kCount = 24;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(kCount);
+  const std::vector<double> direct = estimator.EstimateAll(pointers, 8);
+
+  // Several connections per transport so more than one loop owns traffic.
+  for (const Endpoint& endpoint : endpoints) {
+    for (int round = 0; round < 4; ++round) {
+      LineClient client = LineClient::Connect(endpoint);
+      for (size_t i = 0; i < kCount; ++i) {
+        client.SendAll(pointers[i]->query.Serialize() + "\n");
+        std::string line;
+        ASSERT_TRUE(client.ReadLine(&line)) << endpoint.ToString();
+        EXPECT_EQ(ParseEstimate(line), direct[i])
+            << "sharded socket path diverged from EstimateAll at query "
+            << i << " over " << endpoint.ToString();
+      }
+    }
+  }
+
+  const SocketServer::NetStats stats = net.net_stats();
+  ASSERT_EQ(stats.loop_conns.size(), 4u);
+  uint64_t sum = 0;
+  for (uint64_t per_loop : stats.loop_conns) sum += per_loop;
+  EXPECT_EQ(sum, stats.accepted) << "per-loop ownership lost a connection";
+
+  net.Shutdown();
+  server.Shutdown();
+}
+
+TEST_F(ServeSocketTest, MultiLoopPipelinedBurstsAcross64Connections) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/64);
+  serve::ServerConfig config;
+  config.lanes = 2;
+  config.queue_capacity = 4096;  // No overload shedding: determinism.
+  config.window_us = 50;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+  SocketServer net(&server, FourLoopConfig({"tcp:127.0.0.1:0"}));
+  ASSERT_TRUE(net.Start().ok());
+  const Endpoint endpoint = net.endpoints()[0];
+
+  const size_t kDistinct = 8;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(kDistinct);
+  const std::vector<double> direct = estimator.EstimateAll(pointers, 8);
+
+  // 64 concurrent connections, each with its own pipelined burst in ONE
+  // write; the kernel spreads them over the 4 SO_REUSEPORT listeners.
+  // Responses must come back in order and bit-exact PER CONNECTION no
+  // matter which loop owns it.
+  const size_t kConns = 64;
+  const size_t kBurst = 16;
+  std::vector<LineClient> clients;
+  clients.reserve(kConns);
+  for (size_t c = 0; c < kConns; ++c) {
+    clients.push_back(LineClient::Connect(endpoint));
+  }
+  for (size_t c = 0; c < kConns; ++c) {
+    std::string burst;
+    for (size_t i = 0; i < kBurst; ++i) {
+      burst += pointers[(c + i) % kDistinct]->query.Serialize() + "\n";
+    }
+    clients[c].SendAll(burst);
+  }
+  for (size_t c = 0; c < kConns; ++c) {
+    const std::vector<std::string> responses = clients[c].ReadLines(kBurst);
+    ASSERT_EQ(responses.size(), kBurst) << "connection " << c;
+    for (size_t i = 0; i < kBurst; ++i) {
+      ASSERT_EQ(ParseEstimate(responses[i]), direct[(c + i) % kDistinct])
+          << "connection " << c << " response " << i
+          << " wrong or out of order";
+    }
+  }
+
+  const SocketServer::NetStats stats = net.net_stats();
+  EXPECT_EQ(stats.accepted, kConns);
+  EXPECT_EQ(stats.lines_in, kConns * kBurst);
+  uint64_t sum = 0;
+  for (uint64_t per_loop : stats.loop_conns) sum += per_loop;
+  EXPECT_EQ(sum, kConns);
+
+  net.Shutdown();
+  server.Shutdown();
+}
+
+TEST_F(ServeSocketTest, MultiLoopDrainShutdownWithInflightPipelinesOnEveryLoop) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/0);
+  serve::ServerConfig config;
+  config.lanes = 2;
+  config.queue_capacity = 1024;
+  config.window_us = 100;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+  const std::string unix_path = UnixPath("mloop_drain");
+  SocketServer net(&server, FourLoopConfig({"unix:" + unix_path}));
+  ASSERT_TRUE(net.Start().ok());
+  const Endpoint endpoint = net.endpoints()[0];
+
+  // 16 unix connections round-robin onto 4 loops → every loop owns 4, and
+  // each carries an unanswered pipelined burst when Shutdown fires. The
+  // concurrent per-loop drain must answer (or typed-reject) all of them.
+  const size_t kConns = 16;
+  const size_t kBurst = 8;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(8);
+  std::vector<LineClient> clients;
+  clients.reserve(kConns);
+  for (size_t c = 0; c < kConns; ++c) {
+    clients.push_back(LineClient::Connect(endpoint));
+  }
+  for (size_t c = 0; c < kConns; ++c) {
+    std::string burst;
+    for (size_t i = 0; i < kBurst; ++i) {
+      burst += pointers[(c + i) % pointers.size()]->query.Serialize() + "\n";
+    }
+    clients[c].SendAll(burst);
+  }
+  ASSERT_TRUE(
+      WaitFor([&] { return net.net_stats().lines_in >= kConns * kBurst; }));
+
+  // Every loop must own in-flight connections at this point.
+  {
+    const SocketServer::NetStats stats = net.net_stats();
+    ASSERT_EQ(stats.loop_conns.size(), 4u);
+    int loops_with_conns = 0;
+    for (uint64_t per_loop : stats.loop_conns) {
+      if (per_loop > 0) ++loops_with_conns;
+    }
+    EXPECT_GE(loops_with_conns, 2)
+        << "unix handoff left the drain single-loop";
+  }
+
+  net.Shutdown();
+
+  for (size_t c = 0; c < kConns; ++c) {
+    const std::vector<std::string> responses = clients[c].ReadUntilEof();
+    ASSERT_EQ(responses.size(), kBurst)
+        << "multi-loop shutdown dropped accepted lines on connection " << c;
+    for (const std::string& response : responses) {
+      EXPECT_TRUE(StartsWith(response, "EST ") ||
+                  StartsWith(response, "ERR Unavailable"))
+          << response;
+    }
+  }
+  EXPECT_EQ(net.net_stats().open, 0u);
+
+  // The serve::Stats invariant holds exactly after the concurrent drain.
+  const serve::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.received, kConns * kBurst);
+  EXPECT_EQ(stats.received,
+            stats.served + stats.rejected_malformed +
+                stats.rejected_overload + stats.rejected_shutdown +
+                stats.admin_requests);
+
+  server.Shutdown();
+}
+
+TEST_F(ServeSocketTest, UnixHandoffRoundRobinDistributesAcrossLoops) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/64);
+  serve::ServerConfig config;
+  config.lanes = 1;
+  config.window_us = 0;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+  const std::string unix_path = UnixPath("mloop_rr");
+  SocketServer net(&server, FourLoopConfig({"unix:" + unix_path}));
+  ASSERT_TRUE(net.Start().ok());
+  const Endpoint endpoint = net.endpoints()[0];
+
+  // 8 connections, each proven live with one served request: the loop-0
+  // accept path deals them round-robin, so with 4 loops the ownership is
+  // exactly 2 per loop, and 6 of the 8 fds crossed threads (loop 0 keeps
+  // its own turn in the rotation without a handoff).
+  const size_t kConns = 8;
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(1);
+  std::vector<LineClient> clients;
+  clients.reserve(kConns);
+  for (size_t c = 0; c < kConns; ++c) {
+    clients.push_back(LineClient::Connect(endpoint));
+    clients[c].SendAll(pointers[0]->query.Serialize() + "\n");
+    std::string line;
+    ASSERT_TRUE(clients[c].ReadLine(&line)) << "connection " << c;
+    EXPECT_TRUE(StartsWith(line, "EST ")) << line;
+  }
+  ASSERT_TRUE(WaitFor([&] { return net.net_stats().accepted >= kConns; }));
+
+  const SocketServer::NetStats stats = net.net_stats();
+  ASSERT_EQ(stats.loop_conns.size(), 4u);
+  int loops_with_conns = 0;
+  for (size_t i = 0; i < stats.loop_conns.size(); ++i) {
+    if (stats.loop_conns[i] > 0) ++loops_with_conns;
+    EXPECT_EQ(stats.loop_conns[i], kConns / 4)
+        << "round-robin skew on loop " << i;
+  }
+  EXPECT_GE(loops_with_conns, 2);
+  EXPECT_EQ(stats.handoffs, kConns - kConns / 4)
+      << "handoff count disagrees with the rotation";
+
+  net.Shutdown();
+  server.Shutdown();
+}
+
+TEST_F(ServeSocketTest, MultiLoopStatsCoherenceUnderConcurrentTraffic) {
+  MscnEstimator estimator(featurizer_, model_, "MSCN", /*cache_capacity=*/64);
+  serve::ServerConfig config;
+  config.lanes = 2;
+  config.queue_capacity = 4096;  // Overload shedding off: determinism.
+  config.window_us = 50;
+  serve::EstimatorServer server(&estimator, &db_->schema(), samples_, config);
+  const std::string unix_path = UnixPath("mloop_stats");
+  SocketServer net(&server,
+                   FourLoopConfig({"tcp:127.0.0.1:0", "unix:" + unix_path}));
+  ASSERT_TRUE(net.Start().ok());
+  const std::vector<Endpoint> endpoints = net.endpoints();
+
+  // Requests now reach EstimatorServer::HandleLineAsync concurrently from
+  // 4 loop threads AND in-process Submit callers; every received line must
+  // still land in exactly one outcome bucket.
+  const std::vector<const LabeledQuery*> pointers = QueryPointers(8);
+  const size_t kPerThread = 60;
+  const size_t kSubmitThreads = 2;
+  const size_t kSocketThreads = 4;  // 2 per transport, fds over all loops.
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kSubmitThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        if (i % 2 == 0) {
+          (void)server.Submit(
+              pointers[(t + i) % pointers.size()]->query.Serialize());
+        } else {
+          (void)server.Submit("garbage");  // rejected_malformed.
+        }
+      }
+    });
+  }
+  for (size_t t = 0; t < kSocketThreads; ++t) {
+    threads.emplace_back([&, t] {
+      LineClient client = LineClient::Connect(endpoints[t % 2]);
+      std::string line;
+      for (size_t i = 0; i < kPerThread; ++i) {
+        switch (i % 3) {
+          case 0:
+            client.SendAll(
+                pointers[(t + i) % pointers.size()]->query.Serialize() +
+                "\n");
+            break;
+          case 1:
+            client.SendAll("T:1x|J:|P:\n");  // rejected_malformed.
+            break;
+          case 2:
+            client.SendAll("ADMIN STATS\n");  // admin.
+            break;
+        }
+        ASSERT_TRUE(client.ReadLine(&line));
+        ASSERT_FALSE(line.empty());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const serve::Stats stats = server.GetStats();
+  const uint64_t kTotal = (kSubmitThreads + kSocketThreads) * kPerThread;
+  EXPECT_EQ(stats.received, kTotal);
+  EXPECT_EQ(stats.received,
+            stats.served + stats.rejected_malformed +
+                stats.rejected_overload + stats.rejected_shutdown +
+                stats.admin_requests);
+  EXPECT_EQ(stats.admin_requests, kSocketThreads * 20);
+  EXPECT_EQ(stats.rejected_malformed,
+            kSubmitThreads * 30 + kSocketThreads * 20);
 
   net.Shutdown();
   server.Shutdown();
