@@ -426,10 +426,13 @@ SocketLoadResult RunSocketLoad(lc::MscnEstimator* estimator,
             lat.push_back(conn.burst_timer.Seconds() * 1e6);
             bool matches = lc::StartsWith(line, "EST ");
             if (matches) {
-              const double got = std::strtod(line.c_str() + 4, nullptr);
-              matches = qerr_bound > 0.0
-                            ? QError(got, expected[pick]) <= qerr_bound
-                            : got == expected[pick];
+              std::string_view text = std::string_view(line).substr(4);
+              text = text.substr(0, text.find(' '));
+              double got = 0.0;
+              matches = lc::ParseDouble(text, &got).ok() &&
+                        (qerr_bound > 0.0
+                             ? QError(got, expected[pick]) <= qerr_bound
+                             : got == expected[pick]);
             }
             if (!matches) {
               bit_mismatches.fetch_add(1, std::memory_order_relaxed);
@@ -599,7 +602,7 @@ int main(int argc, char** argv) {
   std::vector<lc::LabeledQuery> calibration;
   if (quant_mode) {
     quant_policy.int8_enabled = true;
-    if (std::getenv("LC_NN_QUANT_QERR") == nullptr) {
+    if (lc::GetEnvString("LC_NN_QUANT_QERR", "").empty()) {
       quant_policy.max_qerr = 1.25;
     }
     for (size_t i = 0; i < distinct; ++i) {

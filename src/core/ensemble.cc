@@ -76,7 +76,7 @@ std::shared_ptr<std::vector<MscnModel>> MscnEnsemble::SwapMembers(
 void MscnEnsemble::PublishQuantizedMembers(
     const std::shared_ptr<std::vector<MscnModel>>& members) {
   if (!QuantPolicy::FromEnv().int8_enabled) {
-    std::lock_guard<std::mutex> lock(quant_mu_);
+    MutexLock lock(&quant_mu_);
     quantized_members_ = nullptr;
     return;
   }
@@ -86,7 +86,7 @@ void MscnEnsemble::PublishQuantizedMembers(
   for (const MscnModel& member : *members) {
     snapshots->push_back(QuantizedMscnModel::FromModel(member));
   }
-  std::lock_guard<std::mutex> lock(quant_mu_);
+  MutexLock lock(&quant_mu_);
   quantized_members_ = std::move(snapshots);
 }
 

@@ -11,15 +11,16 @@
 #define LC_CORE_ENSEMBLE_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/mscn_estimator.h"
 #include "core/quantized_model.h"
 #include "core/trainer.h"
 #include "est/estimator.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
 #include "util/swap_handle.h"
+#include "util/thread_annotations.h"
 
 namespace lc {
 
@@ -93,8 +94,8 @@ class MscnEnsemble : public CardinalityEstimator {
   /// from these — EstimateWithUncertainty stays fp32 so the uncertainty
   /// signal measures genuine member disagreement, not rounding artifacts.
   std::shared_ptr<const std::vector<std::shared_ptr<const QuantizedMscnModel>>>
-  quantized_members() const {
-    std::lock_guard<std::mutex> lock(quant_mu_);
+  quantized_members() const LC_EXCLUDES(quant_mu_) {
+    MutexLock lock(&quant_mu_);
     return quantized_members_;
   }
 
@@ -112,16 +113,18 @@ class MscnEnsemble : public CardinalityEstimator {
   // (no-op unless QuantPolicy::FromEnv() enables int8). Runs at
   // construction and after each SwapMembers, off the serving paths.
   void PublishQuantizedMembers(
-      const std::shared_ptr<std::vector<MscnModel>>& members);
+      const std::shared_ptr<std::vector<MscnModel>>& members)
+      LC_EXCLUDES(quant_mu_);
 
   const Featurizer* featurizer_;
   SwapHandle<std::vector<MscnModel>> members_;
   // Nullable: non-null only while the quantized path is enabled and a
-  // publication has run. Guarded by quant_mu_ (SwapHandle CHECKs non-null,
-  // so it cannot hold an optional snapshot).
-  mutable std::mutex quant_mu_;
+  // publication has run. Lives under quant_mu_ rather than a SwapHandle
+  // because SwapHandle CHECKs non-null, so it cannot hold an optional
+  // snapshot.
+  mutable Mutex quant_mu_;
   std::shared_ptr<const std::vector<std::shared_ptr<const QuantizedMscnModel>>>
-      quantized_members_;
+      quantized_members_ LC_GUARDED_BY(quant_mu_);
   // Serving workspace shared by all members and reused across calls (see
   // nn/tape.h); makes the ensemble stateful like MscnEstimator — a single
   // instance must not serve concurrent calls.

@@ -104,7 +104,7 @@ std::shared_ptr<MscnModel> MscnEstimator::SwapModel(
   LC_CHECK(fresh != nullptr);
   LC_CHECK(featurizer_->dims() == fresh->dims())
       << "swapped-in model was trained for a different featurization";
-  std::lock_guard<std::mutex> lock(swap_mu_);
+  MutexLock lock(&swap_mu_);
   const std::shared_ptr<MscnModel> current = model_.Load();
   LC_CHECK(fresh.get() != current.get())
       << "swapping the published model with itself";
@@ -126,7 +126,7 @@ std::shared_ptr<MscnModel> MscnEstimator::SwapModel(
 void MscnEstimator::ConfigureQuantization(
     QuantPolicy policy, std::vector<LabeledQuery> calibration) {
   {
-    std::lock_guard<std::mutex> lock(quant_mu_);
+    MutexLock lock(&quant_mu_);
     quant_policy_ = policy;
     quant_calibration_ = std::move(calibration);
   }
@@ -141,7 +141,7 @@ void MscnEstimator::PublishQuantized(
   QuantPolicy policy;
   std::vector<LabeledQuery> calibration;
   {
-    std::lock_guard<std::mutex> lock(quant_mu_);
+    MutexLock lock(&quant_mu_);
     policy = quant_policy_;
     if (!policy.int8_enabled) {
       quantized_ = nullptr;
@@ -161,7 +161,7 @@ void MscnEstimator::PublishQuantized(
     {
       // The fp32 reference pass reads live weights; exclude a concurrent
       // in-place writer the same way the serving paths do.
-      std::shared_lock<std::shared_mutex> lock(model_mu_);
+      ReaderMutexLock lock(&model_mu_);
       Tape tape;
       model->Predict(batch, &tape, &fp32_estimates);
     }
@@ -172,13 +172,13 @@ void MscnEstimator::PublishQuantized(
       // The quantized weights would degrade estimates past the bound:
       // refuse publication and keep (fall back to) fp32 serving.
       quant_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(quant_mu_);
+      MutexLock lock(&quant_mu_);
       quantized_ = nullptr;
       return;
     }
   }
   quant_published_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(quant_mu_);
+  MutexLock lock(&quant_mu_);
   quantized_ = std::move(candidate);
 }
 
@@ -226,7 +226,7 @@ void MscnEstimator::EstimateBatch(
   // decided below against the revision read under the lock.
   std::shared_ptr<const QuantizedMscnModel> quant;
   {
-    std::lock_guard<std::mutex> lock(quant_mu_);
+    MutexLock lock(&quant_mu_);
     quant = quantized_;
   }
 
@@ -238,7 +238,7 @@ void MscnEstimator::EstimateBatch(
     // revision is stable and matches the weights we read. A copy-train-
     // swap never takes the exclusive side — it replaces the pointer, and
     // we keep scoring the snapshot we loaded.
-    std::shared_lock<std::shared_mutex> lock(model_mu_);
+    ReaderMutexLock lock(&model_mu_);
     revision = model->revision();
     const MscnBatch batch = featurizer_->MakeBatch(to_score, nullptr);
     if (quant != nullptr && quant->source_revision() == revision) {
@@ -270,7 +270,7 @@ std::vector<double> MscnEstimator::EstimateAll(
   // weight writers, and the pool workers' reads are ordered through the
   // fork/join.
   const std::shared_ptr<MscnModel> model = model_.Load();
-  std::shared_lock<std::shared_mutex> lock(model_mu_);
+  ReaderMutexLock lock(&model_mu_);
   std::vector<double> estimates(queries.size());
   // Forward passes only read the shared model; see ForEachBatchShard for
   // the determinism argument.

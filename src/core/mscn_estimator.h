@@ -81,8 +81,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -92,8 +90,10 @@
 #include "est/estimator.h"
 #include "nn/tape.h"
 #include "util/lru_cache.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
 #include "util/swap_handle.h"
+#include "util/thread_annotations.h"
 
 namespace lc {
 
@@ -137,7 +137,7 @@ class MscnEstimator : public CardinalityEstimator {
   /// the cache keeps the hot loop lock-free.
   std::vector<double> EstimateAll(
       const std::vector<const LabeledQuery*>& queries, size_t batch_size,
-      ThreadPool* pool = ThreadPool::Global());
+      ThreadPool* pool = ThreadPool::Global()) LC_EXCLUDES(model_mu_);
 
   /// The serving submit path: estimates `queries` as one batch on the
   /// caller-owned `tape`, consulting and filling the result cache.
@@ -154,7 +154,8 @@ class MscnEstimator : public CardinalityEstimator {
   /// own tape.
   void EstimateBatch(const std::vector<const LabeledQuery*>& queries,
                      Tape* tape, std::vector<double>* estimates,
-                     std::vector<uint8_t>* cache_hits);
+                     std::vector<uint8_t>* cache_hits)
+      LC_EXCLUDES(model_mu_, quant_mu_);
 
   /// Cache-only probe, keyed by Query::CanonicalKey() text: true (and
   /// `*estimate` set) only on a hit that is fresh for the current weight
@@ -171,7 +172,8 @@ class MscnEstimator : public CardinalityEstimator {
   /// earlier regime retire lazily at the lookup that discovers them — no
   /// cache wipe, no stall. Do not combine with a concurrent in-place
   /// retrain of the published model.
-  std::shared_ptr<MscnModel> SwapModel(std::shared_ptr<MscnModel> fresh);
+  std::shared_ptr<MscnModel> SwapModel(std::shared_ptr<MscnModel> fresh)
+      LC_EXCLUDES(swap_mu_, quant_mu_, model_mu_);
 
   /// The currently published model. The snapshot stays valid (and its
   /// weights stable, absent an in-place retrain) for as long as the caller
@@ -187,8 +189,11 @@ class MscnEstimator : public CardinalityEstimator {
   /// Cache hits do not take this lock; misses block until the writer is
   /// done and then score with the post-retrain weights. Prefer the
   /// zero-stall TrainClone + SwapModel path.
-  std::unique_lock<std::shared_mutex> AcquireModelWriteLock() {
-    return std::unique_lock<std::shared_mutex>(model_mu_);
+  /// The guard is returned by value (guaranteed copy elision constructs it
+  /// directly in the caller's `auto guard = ...`), so the write hold spans
+  /// exactly the guard's scope and the raw mutex is never exposed.
+  WriterMutexLock AcquireModelWriteLock() LC_ACQUIRE(model_mu_) {
+    return WriterMutexLock(&model_mu_);
   }
 
   /// Hit/miss/eviction counters of the result cache (zeroes when the cache
@@ -214,13 +219,15 @@ class MscnEstimator : public CardinalityEstimator {
   /// int8-computed ones under one revision. Call before serving, or
   /// whenever the calibration workload should track live traffic.
   void ConfigureQuantization(QuantPolicy policy,
-                             std::vector<LabeledQuery> calibration);
+                             std::vector<LabeledQuery> calibration)
+      LC_EXCLUDES(quant_mu_, model_mu_);
 
   /// The current int8 snapshot, or null when none is published. May be
   /// stale relative to the live model (revision mismatch); stale snapshots
   /// are never served.
-  std::shared_ptr<const QuantizedMscnModel> quantized_snapshot() const {
-    std::lock_guard<std::mutex> lock(quant_mu_);
+  std::shared_ptr<const QuantizedMscnModel> quantized_snapshot() const
+      LC_EXCLUDES(quant_mu_) {
+    MutexLock lock(&quant_mu_);
     return quantized_;
   }
 
@@ -259,7 +266,8 @@ class MscnEstimator : public CardinalityEstimator {
   /// `model`. No-op beyond clearing the snapshot when quantization is off.
   /// Heavy work (quantization + calibration forward passes) runs outside
   /// quant_mu_, so serving threads loading the snapshot never stall on it.
-  void PublishQuantized(const std::shared_ptr<MscnModel>& model);
+  void PublishQuantized(const std::shared_ptr<MscnModel>& model)
+      LC_EXCLUDES(quant_mu_, model_mu_);
 
   const Featurizer* featurizer_;
   SwapHandle<MscnModel> model_;
@@ -271,11 +279,13 @@ class MscnEstimator : public CardinalityEstimator {
   Tape tape_;
   // Readers hold shared around forward passes; in-place retrainers hold
   // exclusive via AcquireModelWriteLock(). The swap path never writes
-  // published weights, so it takes neither side.
-  mutable std::shared_mutex model_mu_;
+  // published weights, so it takes neither side. Guards the *weight bytes*
+  // of whichever model is published, which is why no member carries
+  // LC_GUARDED_BY(model_mu_): the protected data lives behind model_.
+  mutable SharedMutex model_mu_;
   // Serializes SwapModel with itself (load-advance-publish must not
   // interleave between two swappers).
-  std::mutex swap_mu_;
+  Mutex swap_mu_;
   // Keyed by the canonical query text itself (not its hash), so a hit is
   // exact by construction.
   std::unique_ptr<ShardedLruCache<std::string, CachedEstimate>> cache_;
@@ -284,10 +294,11 @@ class MscnEstimator : public CardinalityEstimator {
   // serving), so it lives behind a plain mutex rather than a SwapHandle;
   // loads are a pointer copy under the lock. Policy and calibration are
   // mutated only by ConfigureQuantization.
-  mutable std::mutex quant_mu_;
-  QuantPolicy quant_policy_;
-  std::vector<LabeledQuery> quant_calibration_;
-  std::shared_ptr<const QuantizedMscnModel> quantized_;
+  mutable Mutex quant_mu_;
+  QuantPolicy quant_policy_ LC_GUARDED_BY(quant_mu_);
+  std::vector<LabeledQuery> quant_calibration_ LC_GUARDED_BY(quant_mu_);
+  std::shared_ptr<const QuantizedMscnModel> quantized_
+      LC_GUARDED_BY(quant_mu_);
   std::atomic<uint64_t> quant_published_{0};
   std::atomic<uint64_t> quant_fallbacks_{0};
 };

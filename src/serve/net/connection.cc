@@ -49,6 +49,7 @@ Connection::~Connection() {
 }
 
 Status Connection::Register() {
+  loop_->AssertOnLoopThread();
   auto self = shared_from_this();
   // The handler pins the connection for the duration of each event, so a
   // Close() from inside OnEvent never frees the object under its own feet.
@@ -57,6 +58,7 @@ Status Connection::Register() {
 }
 
 void Connection::OnEvent(const PollEvent& event) {
+  loop_->AssertOnLoopThread();
   if (closed_) return;
   if (event.readable || event.error) {
     if (!DrainSocketReads()) return;  // Closed on a hard error.
@@ -97,7 +99,7 @@ bool Connection::DrainSocketReads() {
           counters_->oversize_lines.fetch_add(1, std::memory_order_relaxed);
           uint64_t id;
           {
-            std::lock_guard<std::mutex> lock(slots_mu_);
+            MutexLock lock(&slots_mu_);
             slots_.emplace_back();
             id = next_id_++;
           }
@@ -131,7 +133,7 @@ bool Connection::DrainSocketReads() {
 void Connection::DispatchLine(std::string&& line) {
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(slots_mu_);
+    MutexLock lock(&slots_mu_);
     slots_.emplace_back();
     id = next_id_++;
   }
@@ -144,7 +146,7 @@ void Connection::DispatchLine(std::string&& line) {
 
 void Connection::CompleteSlot(uint64_t id, std::string&& response) {
   {
-    std::lock_guard<std::mutex> lock(slots_mu_);
+    MutexLock lock(&slots_mu_);
     LC_CHECK_GE(id, head_id_);
     Slot& slot = slots_[static_cast<size_t>(id - head_id_)];
     slot.text = std::move(response);
@@ -171,9 +173,10 @@ void Connection::CompleteSlot(uint64_t id, std::string&& response) {
 }
 
 void Connection::FlushReady() {
+  loop_->AssertOnLoopThread();
   if (closed_) return;
   {
-    std::lock_guard<std::mutex> lock(slots_mu_);
+    MutexLock lock(&slots_mu_);
     flush_posted_ = false;  // Completions from here on need a fresh Post.
     while (!slots_.empty() && slots_.front().ready) {
       pending_bytes_ += slots_.front().text.size();
@@ -262,6 +265,7 @@ void Connection::UpdateInterest() {
 }
 
 void Connection::BeginDrain() {
+  loop_->AssertOnLoopThread();
   if (closed_ || draining_) return;
   draining_ = true;
   // Lines the kernel already buffered were accepted: frame and dispatch
@@ -275,12 +279,14 @@ void Connection::BeginDrain() {
 }
 
 void Connection::ForceClose() {
+  loop_->AssertOnLoopThread();
   if (closed_) return;
   Close();
 }
 
 bool Connection::CloseIfIdle(std::chrono::steady_clock::time_point now,
                              std::chrono::milliseconds timeout) {
+  loop_->AssertOnLoopThread();
   if (closed_) return false;
   const bool owes = PendingSlots() > 0 || !pending_out_.empty();
   if (owes || now - last_activity_ < timeout) return false;
@@ -290,11 +296,12 @@ bool Connection::CloseIfIdle(std::chrono::steady_clock::time_point now,
 }
 
 size_t Connection::PendingSlots() const {
-  std::lock_guard<std::mutex> lock(slots_mu_);
+  MutexLock lock(&slots_mu_);
   return slots_.size();
 }
 
 void Connection::Close() {
+  loop_->AssertOnLoopThread();
   if (closed_) return;
   closed_ = true;
   loop_->Unwatch(fd_);

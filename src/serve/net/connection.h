@@ -50,11 +50,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "serve/net/event_loop.h"
 #include "serve/net/framing.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lc {
 namespace serve {
@@ -130,18 +131,22 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void OnEvent(const PollEvent& event);
   // Reads until EAGAIN/EOF and dispatches every completed line. Returns
   // false when the connection closed itself (error path).
-  bool DrainSocketReads();
-  void DispatchLine(std::string&& line);
-  void CompleteSlot(uint64_t id, std::string&& response);
+  bool DrainSocketReads() LC_EXCLUDES(slots_mu_);
+  void DispatchLine(std::string&& line) LC_EXCLUDES(slots_mu_);
+  // The cross-thread entry point: runs on whatever thread resolved the
+  // request (a lane, the retrain thread, or the loop itself).
+  void CompleteSlot(uint64_t id, std::string&& response)
+      LC_EXCLUDES(slots_mu_);
   // Moves the ready prefix of the slot queue onto the outgoing deque and
   // writes as much as the kernel accepts; manages EPOLLOUT interest, the
-  // backpressure pause, and EOF-triggered teardown.
-  void FlushReady();
+  // backpressure pause, and EOF-triggered teardown. Loop thread only
+  // (CompleteSlot reaches it through EventLoop::Post).
+  void FlushReady() LC_EXCLUDES(slots_mu_);
   // Gather-writes pending_out_ with sendmsg until EAGAIN or empty.
   void TryWrite();
   void UpdateInterest();
   void Close();
-  size_t PendingSlots() const;
+  size_t PendingSlots() const LC_EXCLUDES(slots_mu_);
 
   const int fd_;
   // Raw pointer for loop-thread ops (Watch/Update/Unwatch), which only run
@@ -154,30 +159,35 @@ class Connection : public std::enable_shared_from_this<Connection> {
   NetCounters* const counters_;
   std::function<void(int)> on_close_;
 
-  LineFramer framer_;
+  LineFramer framer_ LC_LOOP_AFFINE(loop_);
   // Responses queued for the wire, in order, each kept as its own string
-  // so TryWrite can gather-write them without a contiguous re-copy. Loop
-  // thread only.
-  std::deque<std::string> pending_out_;
-  size_t front_offset_ = 0;   // Sent prefix of pending_out_.front().
-  size_t pending_bytes_ = 0;  // Total bytes across pending_out_.
+  // so TryWrite can gather-write them without a contiguous re-copy.
+  std::deque<std::string> pending_out_ LC_LOOP_AFFINE(loop_);
+  // Sent prefix of pending_out_.front().
+  size_t front_offset_ LC_LOOP_AFFINE(loop_) = 0;
+  // Total bytes across pending_out_.
+  size_t pending_bytes_ LC_LOOP_AFFINE(loop_) = 0;
 
-  bool closed_ = false;
-  bool read_eof_ = false;      // Peer finished sending (or drain stopped reads).
-  bool read_paused_ = false;   // Backpressure: interest dropped, not EOF.
-  bool draining_ = false;
-  bool want_read_ = true;      // Current registered read interest.
-  bool want_write_ = false;    // Current registered write interest.
-  std::chrono::steady_clock::time_point last_activity_;
+  bool closed_ LC_LOOP_AFFINE(loop_) = false;
+  // Peer finished sending (or drain stopped reads).
+  bool read_eof_ LC_LOOP_AFFINE(loop_) = false;
+  // Backpressure: interest dropped, not EOF.
+  bool read_paused_ LC_LOOP_AFFINE(loop_) = false;
+  bool draining_ LC_LOOP_AFFINE(loop_) = false;
+  // Current registered read/write interest.
+  bool want_read_ LC_LOOP_AFFINE(loop_) = true;
+  bool want_write_ LC_LOOP_AFFINE(loop_) = false;
+  std::chrono::steady_clock::time_point last_activity_ LC_LOOP_AFFINE(loop_);
 
   // The only cross-thread state: completions fill slots from lane threads.
-  mutable std::mutex slots_mu_;
-  std::deque<Slot> slots_;
-  uint64_t head_id_ = 0;  // Slot id of slots_.front().
-  uint64_t next_id_ = 0;
+  mutable Mutex slots_mu_;
+  std::deque<Slot> slots_ LC_GUARDED_BY(slots_mu_);
+  // Slot id of slots_.front().
+  uint64_t head_id_ LC_GUARDED_BY(slots_mu_) = 0;
+  uint64_t next_id_ LC_GUARDED_BY(slots_mu_) = 0;
   // True while a CompleteSlot-posted flush is on its way to the loop;
   // later completions in the same burst skip their Post and ride along.
-  bool flush_posted_ = false;
+  bool flush_posted_ LC_GUARDED_BY(slots_mu_) = false;
 };
 
 }  // namespace net

@@ -199,23 +199,26 @@ EventLoop::~EventLoop() {
 
 Status EventLoop::Watch(int fd, bool want_read, bool want_write,
                         FdHandler handler) {
+  AssertOnLoopThread();
   LC_RETURN_IF_ERROR(poller_->Add(fd, want_read, want_write));
   handlers_[fd] = std::move(handler);
   return Status::OK();
 }
 
 Status EventLoop::Update(int fd, bool want_read, bool want_write) {
+  AssertOnLoopThread();
   return poller_->Update(fd, want_read, want_write);
 }
 
 void EventLoop::Unwatch(int fd) {
+  AssertOnLoopThread();
   poller_->Remove(fd);
   handlers_.erase(fd);
 }
 
 void EventLoop::Post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(post_mu_);
+    MutexLock lock(&post_mu_);
     if (exited_) return;  // Loop is gone; shutdown already resolved its work.
     tasks_.push_back(std::move(task));
   }
@@ -229,6 +232,7 @@ void EventLoop::Post(std::function<void()> task) {
 
 void EventLoop::RunAt(std::chrono::steady_clock::time_point when,
                       std::function<void()> task) {
+  AssertOnLoopThread();
   Timer timer;
   timer.when = when;
   timer.seq = timer_seq_++;
@@ -245,7 +249,7 @@ void EventLoop::DrainWakeupPipe() {
 void EventLoop::RunPostedTasks() {
   std::vector<std::function<void()>> tasks;
   {
-    std::lock_guard<std::mutex> lock(post_mu_);
+    MutexLock lock(&post_mu_);
     tasks.swap(tasks_);
   }
   for (std::function<void()>& task : tasks) task();
@@ -275,6 +279,8 @@ void EventLoop::RunDueTimers() {
 }
 
 void EventLoop::Run() {
+  run_thread_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
   std::vector<PollEvent> events;
   while (!stop_.load(std::memory_order_acquire)) {
     RunPostedTasks();
@@ -296,11 +302,23 @@ void EventLoop::Run() {
   // calls are dropped rather than left pending forever.
   std::vector<std::function<void()>> leftover;
   {
-    std::lock_guard<std::mutex> lock(post_mu_);
+    MutexLock lock(&post_mu_);
     leftover.swap(tasks_);
     exited_ = true;
   }
   for (std::function<void()>& task : leftover) task();
+  // Teardown (~EventLoop's Unwatch, test pokes) happens on the owner thread
+  // after the join; loop-affine asserts are moot once the loop is done.
+  running_.store(false, std::memory_order_release);
+}
+
+void EventLoop::AssertOnLoopThread() const {
+  // Before Run() starts and after it returns, no concurrent access is
+  // possible (setup/teardown are single-threaded by construction).
+  if (!running_.load(std::memory_order_acquire)) return;
+  LC_DCHECK(std::this_thread::get_id() ==
+            run_thread_.load(std::memory_order_relaxed))
+      << "loop-affine state touched off the owning event-loop thread";
 }
 
 void EventLoop::Stop() {

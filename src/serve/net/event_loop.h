@@ -27,13 +27,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace lc {
 namespace serve {
@@ -92,7 +94,7 @@ class EventLoop {
   /// Tasks posted before Run() execute at loop start; tasks posted after
   /// the loop exited are dropped (shutdown has already force-resolved
   /// everything they could complete).
-  void Post(std::function<void()> task);
+  void Post(std::function<void()> task) LC_EXCLUDES(post_mu_);
 
   /// Schedules `task` on the loop thread at `when`. Loop-thread only;
   /// periodic work re-arms itself from inside its task.
@@ -105,6 +107,14 @@ class EventLoop {
 
   /// Thread-safe and idempotent: makes Run() return.
   void Stop();
+
+  /// The runtime half of the LC_LOOP_AFFINE discipline: debug-build abort
+  /// when called off the owning loop thread WHILE the loop runs. Touching
+  /// loop-affine state before Run() starts or after it returns is legal
+  /// (single-threaded setup and teardown) and passes. Called by every
+  /// loop-thread-only entry point here and in Connection; release builds
+  /// compile it down to one relaxed atomic load.
+  void AssertOnLoopThread() const;
 
   Poller* poller() { return poller_.get(); }
 
@@ -127,15 +137,21 @@ class EventLoop {
   int wakeup_read_fd_ = -1;
   int wakeup_write_fd_ = -1;
 
-  std::unordered_map<int, FdHandler> handlers_;
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
-  uint64_t timer_seq_ = 0;
+  std::unordered_map<int, FdHandler> handlers_ LC_LOOP_AFFINE(this);
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+      timers_ LC_LOOP_AFFINE(this);
+  uint64_t timer_seq_ LC_LOOP_AFFINE(this) = 0;
 
-  std::mutex post_mu_;  // Guards tasks_ and exited_ (the cross-thread edge).
-  std::vector<std::function<void()>> tasks_;
-  bool exited_ = false;
+  // The cross-thread edge: everything other threads may touch goes through
+  // post_mu_ (the task queue) or is atomic (the stop flag, the loop-thread
+  // identity AssertOnLoopThread checks against).
+  Mutex post_mu_;
+  std::vector<std::function<void()>> tasks_ LC_GUARDED_BY(post_mu_);
+  bool exited_ LC_GUARDED_BY(post_mu_) = false;
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::thread::id> run_thread_{};
 };
 
 }  // namespace net

@@ -376,17 +376,23 @@ void SocketServer::ArmStatsTimer() {
 void SocketServer::RendezvousAllLoops() {
   // Tasks run FIFO per loop, so once every loop has executed its barrier
   // task, everything posted to any loop before this call has run too.
-  std::mutex mu;
-  std::condition_variable cv;
+  // The notify stays INSIDE the critical section here, unlike the
+  // notify-after-unlock convention elsewhere: mu and cv live on this
+  // stack frame, and a waiter woken between an early unlock and the
+  // notify could see pending == 0, return, and destroy cv under the
+  // notifier. Holding mu across NotifyAll pins the waiter until the
+  // notifier is done with cv.
+  Mutex mu;
+  CondVar cv;
   size_t pending = shards_.size();
   for (const std::unique_ptr<LoopShard>& shard : shards_) {
     shard->loop->Post([&mu, &cv, &pending] {
-      std::lock_guard<std::mutex> lock(mu);
-      if (--pending == 0) cv.notify_all();
+      MutexLock lock(&mu);
+      if (--pending == 0) cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&pending] { return pending == 0; });
+  MutexLock lock(&mu);
+  while (pending != 0) cv.Wait(&mu);
 }
 
 void SocketServer::MarkLoopDrainedIfDone(LoopShard* shard) {
@@ -395,10 +401,16 @@ void SocketServer::MarkLoopDrainedIfDone(LoopShard* shard) {
   // a connection closing during the pre-drain phases cannot report an
   // empty-but-not-yet-draining shard.
   if (!shard->drain_started || !shard->connections.empty()) return;
-  std::lock_guard<std::mutex> lock(drain_mu_);
-  if (loop_drained_[static_cast<size_t>(shard->index)]) return;
-  loop_drained_[static_cast<size_t>(shard->index)] = true;
-  if (--undrained_loops_ == 0) drain_cv_.notify_all();
+  bool all_drained = false;
+  {
+    MutexLock lock(&drain_mu_);
+    if (loop_drained_[static_cast<size_t>(shard->index)]) return;
+    loop_drained_[static_cast<size_t>(shard->index)] = true;
+    all_drained = (--undrained_loops_ == 0);
+  }
+  // drain_cv_ is a member, kept alive past the Shutdown wait by the
+  // loop-thread joins, so the usual notify-after-unlock is safe here.
+  if (all_drained) drain_cv_.NotifyAll();
 }
 
 void SocketServer::Shutdown() {
@@ -406,7 +418,7 @@ void SocketServer::Shutdown() {
   shut_down_ = true;
   stopping_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    MutexLock lock(&drain_mu_);
     loop_drained_.assign(shards_.size(), false);
     undrained_loops_ = shards_.size();
   }
@@ -455,32 +467,39 @@ void SocketServer::Shutdown() {
   // drain anywhere (a lane that never completes, a client that never
   // reads) is force-closed at the shared deadline rather than parking
   // shutdown forever.
+  bool clean = false;
   {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    const bool clean = drain_cv_.wait_for(
-        lock, std::chrono::milliseconds(config_.drain_timeout_ms),
-        [this] { return undrained_loops_ == 0; });
-    if (!clean) {
-      LC_LOG(WARNING) << "socket drain deadline exceeded; force-closing "
-                         "remaining connections on all loops";
-      lock.unlock();
-      for (const std::unique_ptr<LoopShard>& shard : shards_) {
-        LoopShard* raw = shard.get();
-        raw->loop->Post([this, raw] {
-          std::vector<std::shared_ptr<Connection>> snapshot;
-          snapshot.reserve(raw->connections.size());
-          for (const auto& [fd, connection] : raw->connections) {
-            snapshot.push_back(connection);
-          }
-          for (const std::shared_ptr<Connection>& connection : snapshot) {
-            connection->ForceClose();
-          }
-          MarkLoopDrainedIfDone(raw);
-        });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.drain_timeout_ms);
+    MutexLock lock(&drain_mu_);
+    while (undrained_loops_ != 0) {
+      if (drain_cv_.WaitUntil(&drain_mu_, deadline) ==
+          std::cv_status::timeout) {
+        break;
       }
-      lock.lock();
-      drain_cv_.wait(lock, [this] { return undrained_loops_ == 0; });
     }
+    clean = (undrained_loops_ == 0);
+  }
+  if (!clean) {
+    LC_LOG(WARNING) << "socket drain deadline exceeded; force-closing "
+                       "remaining connections on all loops";
+    for (const std::unique_ptr<LoopShard>& shard : shards_) {
+      LoopShard* raw = shard.get();
+      raw->loop->Post([this, raw] {
+        std::vector<std::shared_ptr<Connection>> snapshot;
+        snapshot.reserve(raw->connections.size());
+        for (const auto& [fd, connection] : raw->connections) {
+          snapshot.push_back(connection);
+        }
+        for (const std::shared_ptr<Connection>& connection : snapshot) {
+          connection->ForceClose();
+        }
+        MarkLoopDrainedIfDone(raw);
+      });
+    }
+    MutexLock lock(&drain_mu_);
+    while (undrained_loops_ != 0) drain_cv_.Wait(&drain_mu_);
   }
 
   for (const std::unique_ptr<LoopShard>& shard : shards_) {

@@ -41,10 +41,8 @@
 #define LC_SERVE_NET_SOCKET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -53,7 +51,9 @@
 #include "serve/net/connection.h"
 #include "serve/net/event_loop.h"
 #include "serve/net/listener.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace lc {
 namespace serve {
@@ -128,7 +128,7 @@ class SocketServer {
   /// EstimatorServer should still be alive (its lanes complete the
   /// in-flight requests); calling after server shutdown also works — every
   /// drained line is then answered with the typed shutdown rejection.
-  void Shutdown();
+  void Shutdown() LC_EXCLUDES(drain_mu_);
 
   /// Actual bound endpoints, one per configured spec (ephemeral TCP ports
   /// resolved; the per-loop SO_REUSEPORT listeners share it). Valid after
@@ -164,12 +164,13 @@ class SocketServer {
   struct LoopShard {
     int index = 0;
     std::shared_ptr<EventLoop> loop;
-    std::vector<std::unique_ptr<Listener>> listeners;
-    std::unordered_map<int, std::shared_ptr<Connection>> connections;
-    std::thread thread;
+    std::vector<std::unique_ptr<Listener>> listeners LC_LOOP_AFFINE(loop);
+    std::unordered_map<int, std::shared_ptr<Connection>>
+        connections LC_LOOP_AFFINE(loop);
+    std::thread thread;  // Written by Start/Shutdown only.
     // Set by this shard's drain task; gates the drained-rendezvous mark
     // so a shard is never reported drained before it began draining.
-    bool drain_started = false;
+    bool drain_started LC_LOOP_AFFINE(loop) = false;
     std::atomic<uint64_t> conns{0};  // Lifetime connections owned.
   };
 
@@ -185,25 +186,31 @@ class SocketServer {
   // Posts a no-op to every loop and waits until all ran it: everything
   // posted to any loop before the barrier has executed once it returns.
   void RendezvousAllLoops();
-  void MarkLoopDrainedIfDone(LoopShard* shard);
+  void MarkLoopDrainedIfDone(LoopShard* shard) LC_EXCLUDES(drain_mu_);
 
   EstimatorServer* const server_;
   const SocketServerConfig config_;
   int loops_ = 1;  // Resolved from config_.loops at Start().
   std::vector<std::unique_ptr<LoopShard>> shards_;
   std::vector<Endpoint> resolved_;  // One per configured spec.
-  // Loop-0-thread only: round-robin cursor for unix accept handoff.
-  size_t next_handoff_ = 0;
+  // Round-robin cursor for the unix accept handoff, owned by loop 0's
+  // accept path.
+  size_t next_handoff_ LC_LOOP_AFFINE(shards_[0]) = 0;
   NetCounters counters_;
 
+  // Owner-thread state: Start and Shutdown run on the thread that owns
+  // this object (Start refuses to run twice, Shutdown is idempotent from
+  // that same owner).
   bool started_ = false;
   std::atomic<bool> stopping_{false};
   bool shut_down_ = false;
 
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
-  std::vector<bool> loop_drained_;  // Guarded by drain_mu_.
-  size_t undrained_loops_ = 0;      // Guarded by drain_mu_.
+  // The shutdown rendezvous: loop threads mark themselves drained, the
+  // owner blocks until every mark landed (or the drain deadline passed).
+  Mutex drain_mu_;
+  CondVar drain_cv_;
+  std::vector<bool> loop_drained_ LC_GUARDED_BY(drain_mu_);
+  size_t undrained_loops_ LC_GUARDED_BY(drain_mu_) = 0;
 };
 
 }  // namespace net

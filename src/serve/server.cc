@@ -238,7 +238,7 @@ std::string EstimatorServer::FormatStatsLine() {
 }
 
 void EstimatorServer::set_retrain_fn(RetrainFn fn) {
-  std::lock_guard<std::mutex> lock(admin_mu_);
+  MutexLock lock(&admin_mu_);
   retrain_fn_ = std::move(fn);
 }
 
@@ -258,7 +258,7 @@ std::string EstimatorServer::HandleAdmin(std::string_view text) {
   }
 
   if (*verb == "RETRAIN") {
-    std::lock_guard<std::mutex> lock(admin_mu_);
+    MutexLock lock(&admin_mu_);
     if (!retrain_fn_) {
       return FormatAdminResponse(
           Status::Unimplemented("no retrain hook configured"), "");
@@ -276,7 +276,11 @@ std::string EstimatorServer::HandleAdmin(std::string_view text) {
     if (retrain_thread_.joinable()) retrain_thread_.join();
     retrain_in_flight_.store(true, std::memory_order_release);
     retrains_started_.fetch_add(1, std::memory_order_relaxed);
-    retrain_thread_ = std::thread([this] {
+    // The thread body runs OUTSIDE this MutexLock, so it must not read the
+    // retrain_fn_ member (that read would race a concurrent
+    // set_retrain_fn — a real violation the thread-safety analysis
+    // rejects). It runs a by-value copy taken under admin_mu_ instead.
+    retrain_thread_ = std::thread([this, retrain = retrain_fn_] {
 #if defined(__linux__)
       // Background CPU priority for the retrain: clone-training is
       // throughput work, serving owns the cores. Nice is per-thread on
@@ -296,7 +300,7 @@ std::string EstimatorServer::HandleAdmin(std::string_view text) {
       // Off every lane and every lock: the hook clone-trains in the
       // background while serving continues, then publishes with an atomic
       // swap. Failure leaves the old model serving.
-      const Status status = retrain_fn_();
+      const Status status = retrain();
       if (status.ok()) {
         model_swaps_.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -341,7 +345,7 @@ void EstimatorServer::LaneLoop(LaneStats* stats) {
     const SteadyClock::time_point done = SteadyClock::now();
 
     {
-      std::lock_guard<std::mutex> lock(stats->mu);
+      MutexLock lock(&stats->mu);
       stats->model_batches += 1;
       stats->batch_size.Add(static_cast<double>(batch.size()));
       for (const auto& pending : batch) {
@@ -361,7 +365,7 @@ void EstimatorServer::LaneLoop(LaneStats* stats) {
 }
 
 void EstimatorServer::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(&shutdown_mu_);
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
   // Stop admission; lanes keep popping until the queue reports closed AND
   // drained, so every accepted request is served before the join returns.
@@ -373,7 +377,7 @@ void EstimatorServer::Shutdown() {
     // An in-flight background retrain finishes (and publishes or fails)
     // before the server is torn down — the hook may reference the
     // estimator and trainer this server borrows.
-    std::lock_guard<std::mutex> admin_lock(admin_mu_);
+    MutexLock admin_lock(&admin_mu_);
     if (retrain_thread_.joinable()) retrain_thread_.join();
   }
   // With lanes == 0 (tests) nothing drained the queue: resolve the
@@ -408,7 +412,7 @@ Stats EstimatorServer::GetStats() const {
   stats.quant_fallbacks = quant.fallbacks;
   stats.served = stats.admission_cache_hits;
   for (const auto& lane : lane_stats_) {
-    std::lock_guard<std::mutex> lock(lane->mu);
+    MutexLock lock(&lane->mu);
     stats.served += lane->served;
     stats.model_batches += lane->model_batches;
     stats.batch_size.Merge(lane->batch_size);

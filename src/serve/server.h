@@ -41,7 +41,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -51,8 +50,10 @@
 #include "db/schema.h"
 #include "sample/sample.h"
 #include "serve/protocol.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 #include "workload/workload.h"
 
 namespace lc {
@@ -182,7 +183,7 @@ class EstimatorServer {
   /// published. At most one retrain is in flight at a time ("ADMIN
   /// RETRAIN" answers Unavailable while one runs).
   using RetrainFn = std::function<Status()>;
-  void set_retrain_fn(RetrainFn fn);
+  void set_retrain_fn(RetrainFn fn) LC_EXCLUDES(admin_mu_);
   bool retrain_in_flight() const {
     return retrain_in_flight_.load(std::memory_order_acquire);
   }
@@ -190,7 +191,7 @@ class EstimatorServer {
   /// Stops admission, drains every accepted request through the lanes,
   /// joins them. Idempotent; also run by the destructor. After Shutdown,
   /// Submit rejects with Unavailable.
-  void Shutdown();
+  void Shutdown() LC_EXCLUDES(shutdown_mu_, admin_mu_);
   bool stopped() const { return stopping_.load(std::memory_order_acquire); }
 
   Stats GetStats() const;
@@ -203,16 +204,16 @@ class EstimatorServer {
     std::chrono::steady_clock::time_point admitted;
   };
   struct LaneStats {
-    mutable std::mutex mu;
-    uint64_t served = 0;
-    uint64_t model_batches = 0;
-    RunningStat batch_size;
-    RunningStat queue_wait_us;
-    RunningStat service_latency_us;
+    mutable Mutex mu;
+    uint64_t served LC_GUARDED_BY(mu) = 0;
+    uint64_t model_batches LC_GUARDED_BY(mu) = 0;
+    RunningStat batch_size LC_GUARDED_BY(mu);
+    RunningStat queue_wait_us LC_GUARDED_BY(mu);
+    RunningStat service_latency_us LC_GUARDED_BY(mu);
   };
 
   void LaneLoop(LaneStats* stats);
-  std::string HandleAdmin(std::string_view text);
+  std::string HandleAdmin(std::string_view text) LC_EXCLUDES(admin_mu_);
 
   MscnEstimator* estimator_;
   const Schema* schema_;
@@ -222,15 +223,16 @@ class EstimatorServer {
   std::vector<std::unique_ptr<LaneStats>> lane_stats_;
   std::vector<std::thread> lanes_;
 
-  std::mutex shutdown_mu_;  // Serializes Shutdown with itself.
+  Mutex shutdown_mu_;  // Serializes Shutdown with itself.
   std::atomic<bool> stopping_{false};
 
-  // Retrain orchestration: the hook, the single background thread running
-  // it, and the in-flight flag are all guarded by admin_mu_ (the thread
-  // itself takes no server lock).
-  std::mutex admin_mu_;
-  RetrainFn retrain_fn_;
-  std::thread retrain_thread_;
+  // Retrain orchestration: the hook and the single background thread
+  // running it are guarded by admin_mu_; the thread itself takes no server
+  // lock (it runs a by-value COPY of the hook, so a concurrent
+  // set_retrain_fn cannot race the invocation).
+  Mutex admin_mu_;
+  RetrainFn retrain_fn_ LC_GUARDED_BY(admin_mu_);
+  std::thread retrain_thread_ LC_GUARDED_BY(admin_mu_);
   std::atomic<bool> retrain_in_flight_{false};
 
   std::atomic<uint64_t> received_{0};

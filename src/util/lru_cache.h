@@ -13,12 +13,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lc {
 
@@ -60,7 +61,7 @@ class ShardedLruCache {
   /// True (and `*value` set) on a hit; the entry becomes most-recent.
   bool Lookup(const K& key, V* value) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -87,7 +88,7 @@ class ShardedLruCache {
   bool LookupValid(const K& key, V* value, Pred&& valid,
                    bool count_miss = true) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       if (valid(static_cast<const V&>(it->second->second))) {
@@ -109,7 +110,7 @@ class ShardedLruCache {
   /// expensive keys (e.g. canonical query strings) into the entry.
   void Insert(K key, V value) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->second = std::move(value);
@@ -130,7 +131,7 @@ class ShardedLruCache {
   /// Drops every entry (counters are kept).
   void Clear() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       shard->index.clear();
       shard->order.clear();
     }
@@ -139,7 +140,7 @@ class ShardedLruCache {
   size_t size() const {
     size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       total += shard->index.size();
     }
     return total;
@@ -165,10 +166,11 @@ class ShardedLruCache {
   struct Shard {
     explicit Shard(size_t shard_capacity) : capacity(shard_capacity) {}
     const size_t capacity;
-    mutable std::mutex mu;
-    std::list<std::pair<K, V>> order;  // Front = most recently used.
+    mutable Mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<K, V>> order LC_GUARDED_BY(mu);
     std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
-        index;
+        index LC_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const K& key) {

@@ -28,10 +28,10 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -41,18 +41,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // Shutdown with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -88,10 +88,10 @@ struct ForState {
 
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
-  size_t done = 0;  // Guarded by mu.
-  std::mutex mu;
-  std::condition_variable all_done;
-  std::exception_ptr error;  // First failure; guarded by mu.
+  Mutex mu;
+  CondVar all_done;
+  size_t done LC_GUARDED_BY(mu) = 0;
+  std::exception_ptr error LC_GUARDED_BY(mu);  // First failure.
 
   // Runs shards until the counter is exhausted. Safe to call from any
   // thread; `body` is only dereferenced while undone shards remain, which
@@ -113,9 +113,13 @@ struct ForState {
           failed.store(true, std::memory_order_relaxed);
         }
       }
-      std::lock_guard<std::mutex> lock(mu);
-      if (failure && !error) error = failure;
-      if (++done == total_shards) all_done.notify_all();
+      bool last = false;
+      {
+        MutexLock lock(&mu);
+        if (failure && !error) error = failure;
+        last = (++done == total_shards);
+      }
+      if (last) all_done.NotifyAll();
     }
   }
 };
@@ -161,10 +165,15 @@ void ParallelForShards(
     pool->Submit([state] { state->Drain(); });
   }
   state->Drain();  // The caller is a lane too (prevents nested deadlock).
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock,
-                       [&] { return state->done == state->total_shards; });
-  if (state->error) std::rethrow_exception(state->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(&state->mu);
+    while (state->done != state->total_shards) {
+      state->all_done.Wait(&state->mu);
+    }
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,

@@ -14,20 +14,22 @@
 //    shards from a shared counter, so nested parallel sections cannot
 //    deadlock even when every pool worker is busy (the nested call simply
 //    degrades toward inline execution).
+//  - Lock discipline is declared with the util/thread_annotations.h
+//    attributes and proven by the Clang `-Wthread-safety` CI job.
 
 #ifndef LC_UTIL_PARALLEL_H_
 #define LC_UTIL_PARALLEL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lc {
 
@@ -52,7 +54,7 @@ class ThreadPool {
 
   /// Enqueues a task. Never blocks (the queue is unbounded; use
   /// BoundedQueue for backpressure between pipeline stages).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) LC_EXCLUDES(mu_);
 
   /// The process-wide pool, created on first use with
   /// DefaultParallelism() - 1 workers (the caller of a parallel section is
@@ -62,13 +64,13 @@ class ThreadPool {
   static ThreadPool* Global();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() LC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ LC_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // Written in the ctor only.
+  bool shutdown_ LC_GUARDED_BY(mu_) = false;
 };
 
 /// Number of execution lanes a parallel section over `pool` uses: the
@@ -127,8 +129,10 @@ enum class QueuePush {
 /// only stops admission. Producers blocked in Push when Close() lands wake
 /// and return false with their item NOT enqueued; consumers blocked in Pop
 /// wake, drain whatever was accepted before the close, and then return
-/// false. All waits use predicates, so the notify_all in Close() cannot be
-/// missed by a racing waiter.
+/// false. All waits re-check their predicate in a loop, so the NotifyAll
+/// in Close() cannot be missed by a racing waiter. Notifies happen after
+/// the critical section so a woken thread never immediately blocks on the
+/// mutex the notifier still holds.
 template <typename T>
 class BoundedQueue {
  public:
@@ -141,14 +145,14 @@ class BoundedQueue {
 
   /// Blocks until there is room; false iff the queue was closed (the value
   /// is dropped).
-  bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T value) LC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -156,38 +160,41 @@ class BoundedQueue {
   /// kFull/kClosed leave `*value` untouched so the caller can dispose of it
   /// (e.g. fail the request it wraps). This is the backpressure primitive:
   /// a full queue is reported immediately instead of blocking the producer.
-  QueuePush TryPush(T* value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (closed_) return QueuePush::kClosed;
-    if (items_.size() >= capacity_) return QueuePush::kFull;
-    items_.push_back(std::move(*value));
-    lock.unlock();
-    not_empty_.notify_one();
+  QueuePush TryPush(T* value) LC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      if (closed_) return QueuePush::kClosed;
+      if (items_.size() >= capacity_) return QueuePush::kFull;
+      items_.push_back(std::move(*value));
+    }
+    not_empty_.NotifyOne();
     return QueuePush::kAccepted;
   }
 
   /// Blocks until an item arrives; false iff the queue is closed and fully
   /// drained.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // Closed and drained.
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  bool Pop(T* out) LC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (items_.empty()) return false;  // Closed and drained.
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Non-blocking Pop: false when the queue is momentarily empty (or closed
   /// and drained).
-  bool TryPop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  bool TryPop(T* out) LC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
@@ -195,44 +202,50 @@ class BoundedQueue {
   /// item arrives, the queue closes, or `deadline` passes. Returns true iff
   /// an item was popped; a deadline already in the past degrades to TryPop.
   /// Items queued before Close() are still popped (drain semantics).
-  bool PopUntil(T* out, std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_until(lock, deadline,
-                          [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // Timed out, or closed and drained.
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  bool PopUntil(T* out, std::chrono::steady_clock::time_point deadline)
+      LC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) {
+        if (not_empty_.WaitUntil(&mu_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (items_.empty()) return false;  // Timed out, or closed and drained.
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
-  void Close() {
+  void Close() LC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const LC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const LC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ LC_GUARDED_BY(mu_);
+  bool closed_ LC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lc

@@ -19,10 +19,11 @@
 #define LC_UTIL_SWAP_HANDLE_H_
 
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lc {
 
@@ -49,23 +50,23 @@ class SwapHandle {
   SwapHandle& operator=(const SwapHandle&) = delete;
 
   /// Snapshot of the current value. Never null.
-  std::shared_ptr<T> Load() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<T> Load() const LC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return ptr_;
   }
 
   /// Publishes `fresh` and returns the superseded value. Readers holding
   /// pre-swap snapshots are unaffected; new Load()s see `fresh`.
-  std::shared_ptr<T> Swap(std::shared_ptr<T> fresh) {
+  std::shared_ptr<T> Swap(std::shared_ptr<T> fresh) LC_EXCLUDES(mu_) {
     LC_CHECK(fresh != nullptr);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::swap(ptr_, fresh);
     return fresh;  // The old value after the swap above.
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<T> ptr_;
+  mutable Mutex mu_;
+  std::shared_ptr<T> ptr_ LC_GUARDED_BY(mu_);
 };
 
 }  // namespace lc

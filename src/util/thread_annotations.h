@@ -1,0 +1,143 @@
+// Clang Thread Safety Analysis attribute macros, in the style of
+// LLVM/Abseil `thread_annotations.h`: under Clang with `-Wthread-safety`
+// the lock discipline declared here is checked at COMPILE time ("which
+// mutex guards this field" becomes part of the type system); under every
+// other compiler the macros expand to nothing.
+//
+// Usage (see util/mutex.h for the annotated lc::Mutex these attach to):
+//
+//   class Account {
+//    public:
+//     void Deposit(int64_t n) LC_EXCLUDES(mu_) {
+//       MutexLock lock(&mu_);
+//       balance_ += n;
+//     }
+//     int64_t BalanceLocked() const LC_REQUIRES(mu_) { return balance_; }
+//    private:
+//     mutable Mutex mu_;
+//     int64_t balance_ LC_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Reading a `-Wthread-safety` error: the analyzer reports the variable or
+// function, the capability (mutex) it expected, and what was actually held
+// at the call site, e.g.
+//
+//   error: reading variable 'balance_' requires holding mutex 'mu_'
+//   error: calling function 'BalanceLocked' requires holding mutex 'mu_'
+//   error: mutex 'mu_' is still held at the end of function
+//
+// The fix is always one of: take the lock (MutexLock), declare the caller's
+// requirement (LC_REQUIRES) so the obligation moves up the call chain, or —
+// if the access is genuinely unsynchronized by design — change the code,
+// not the annotation. This repo's policy is zero LC_NO_THREAD_SAFETY_ANALYSIS
+// suppressions in the serving/concurrency modules (enforced by review; the
+// `-Wthread-safety -Werror` CI job keeps the proofs from rotting).
+//
+// Constructors and destructors are exempt from the analysis by design
+// (Clang treats them as NO_THREAD_SAFETY_ANALYSIS): before the constructor
+// returns and after the destructor starts, no other thread can legally hold
+// a reference, so guarded-member initialization there is race-free.
+
+#ifndef LC_UTIL_THREAD_ANNOTATIONS_H_
+#define LC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define LC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LC_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// --- Type annotations ------------------------------------------------------
+
+/// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define LC_CAPABILITY(x) LC_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (lc::MutexLock and friends).
+#define LC_SCOPED_CAPABILITY LC_THREAD_ANNOTATION_(scoped_lockable)
+
+// --- Data-member annotations -----------------------------------------------
+
+/// The member may only be read or written while holding `x`.
+#define LC_GUARDED_BY(x) LC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The member is a pointer; the pointed-to data (not the pointer itself) may
+/// only be dereferenced while holding `x`.
+#define LC_PT_GUARDED_BY(x) LC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// --- Function annotations --------------------------------------------------
+
+/// Caller must hold `...` exclusively when calling (checked at call sites;
+/// inside the function the capability is assumed held).
+#define LC_REQUIRES(...) \
+  LC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold `...` at least in shared (reader) mode.
+#define LC_REQUIRES_SHARED(...) \
+  LC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively and does not release it
+/// before returning (Mutex::Lock, MutexLock's constructor).
+#define LC_ACQUIRE(...) \
+  LC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode (reader) counterpart of LC_ACQUIRE.
+#define LC_ACQUIRE_SHARED(...) \
+  LC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases an exclusively held capability.
+#define LC_RELEASE(...) \
+  LC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function releases a shared-held capability.
+#define LC_RELEASE_SHARED(...) \
+  LC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability held in either mode (the destructor
+/// of a scoped guard that may wrap a reader or a writer hold).
+#define LC_RELEASE_GENERIC(...) \
+  LC_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; `b` is the return value meaning
+/// "acquired" (Mutex::TryLock returns true on success).
+#define LC_TRY_ACQUIRE(...) \
+  LC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Shared-mode counterpart of LC_TRY_ACQUIRE.
+#define LC_TRY_ACQUIRE_SHARED(...) \
+  LC_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold `...` (the function acquires it itself; catches
+/// self-deadlock on non-recursive mutexes at compile time).
+#define LC_EXCLUDES(...) LC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked claim that the capability is held (Mutex::AssertHeld):
+/// tells the analysis to assume it from here on in this scope.
+#define LC_ASSERT_CAPABILITY(x) LC_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the named capability (lets callers
+/// lock through an accessor).
+#define LC_RETURN_CAPABILITY(x) LC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Disables the analysis for one function. Policy: never used in serving /
+/// concurrency modules — restructure the code instead (see file comment).
+#define LC_NO_THREAD_SAFETY_ANALYSIS \
+  LC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// --- Loop confinement ------------------------------------------------------
+
+/// Documents a member owned by exactly ONE event-loop thread: it is not
+/// guarded by any mutex, and must only ever be touched (a) from the owning
+/// loop's thread while the loop runs, or (b) before Run() starts / after it
+/// returns, when no concurrent access is possible. There is no Clang
+/// attribute for thread confinement, so this expands to nothing; the
+/// runtime counterpart is EventLoop::AssertOnLoopThread(), a debug-build
+/// abort called by every method that touches loop-affine state (see
+/// serve/net/event_loop.h). The macro argument names the owning loop for
+/// the reader, e.g.:
+///
+///   std::map<int, Handler> handlers_ LC_LOOP_AFFINE(this);   // EventLoop
+///   size_t pending_bytes_ LC_LOOP_AFFINE(loop_) = 0;         // Connection
+#define LC_LOOP_AFFINE(loop)
+
+#endif  // LC_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,58 @@
+// Positive control: correct lock discipline MUST compile warning-free
+// under -Wthread-safety -Werror. If this file fails, the harness (or the
+// wrappers) broke — the negative fixtures' failures prove nothing.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+class Account {
+ public:
+  void Deposit(long n) LC_EXCLUDES(mu_) {
+    lc::MutexLock lock(&mu_);
+    balance_ += n;
+  }
+
+  long balance() const LC_EXCLUDES(mu_) {
+    lc::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  long BalanceLocked() const LC_REQUIRES(mu_) { return balance_; }
+
+  long Sum() const LC_EXCLUDES(mu_) {
+    lc::MutexLock lock(&mu_);
+    return BalanceLocked();
+  }
+
+ private:
+  mutable lc::Mutex mu_;
+  long balance_ LC_GUARDED_BY(mu_) = 0;
+};
+
+class Model {
+ public:
+  double Read() const LC_EXCLUDES(mu_) {
+    lc::ReaderMutexLock lock(&mu_);
+    return weights_;
+  }
+
+  void Retrain() LC_EXCLUDES(mu_) {
+    lc::WriterMutexLock lock(&mu_);
+    weights_ += 1.0;
+  }
+
+ private:
+  mutable lc::SharedMutex mu_;
+  double weights_ LC_GUARDED_BY(mu_) = 0.0;
+};
+}  // namespace
+
+void Use() {
+  Account account;
+  account.Deposit(1);
+  (void)account.balance();
+  (void)account.Sum();
+  Model model;
+  (void)model.Read();
+  model.Retrain();
+}

@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror:
+// calling an LC_EXCLUDES function while holding the excluded mutex —
+// the self-deadlock a non-recursive lc::Mutex turns into a hang.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+class Account {
+ public:
+  void Deposit(long n) LC_EXCLUDES(mu_) {
+    lc::MutexLock lock(&mu_);
+    balance_ += n;
+  }
+
+  void DepositTwice(long n) LC_EXCLUDES(mu_) {
+    lc::MutexLock lock(&mu_);
+    Deposit(n);  // Deadlock: Deposit relocks mu_.
+    balance_ += n;
+  }
+
+ private:
+  lc::Mutex mu_;
+  long balance_ LC_GUARDED_BY(mu_) = 0;
+};
+}  // namespace
+
+void Use() { Account().DepositTwice(1); }

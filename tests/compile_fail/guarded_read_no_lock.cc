@@ -1,0 +1,17 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror:
+// reading a GUARDED_BY member without holding its mutex.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+class Account {
+ public:
+  long balance() const { return balance_; }  // Missing MutexLock.
+
+ private:
+  mutable lc::Mutex mu_;
+  long balance_ LC_GUARDED_BY(mu_) = 0;
+};
+}  // namespace
+
+long Use() { return Account().balance(); }

@@ -1,0 +1,17 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror:
+// writing a GUARDED_BY member without holding its mutex.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+class Account {
+ public:
+  void Deposit(long n) { balance_ += n; }  // Missing MutexLock.
+
+ private:
+  lc::Mutex mu_;
+  long balance_ LC_GUARDED_BY(mu_) = 0;
+};
+}  // namespace
+
+void Use() { Account().Deposit(1); }

@@ -1,0 +1,19 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror:
+// calling an LC_REQUIRES function without holding the required mutex.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+class Account {
+ public:
+  long BalanceLocked() const LC_REQUIRES(mu_) { return balance_; }
+
+  long Peek() const { return BalanceLocked(); }  // Caller holds nothing.
+
+ private:
+  mutable lc::Mutex mu_;
+  long balance_ LC_GUARDED_BY(mu_) = 0;
+};
+}  // namespace
+
+long Use() { return Account().Peek(); }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Negative compile tests for the thread-safety annotations: every
+# *.cc fixture in this directory except clean.cc seeds one lock-discipline
+# misuse and MUST fail to compile under Clang's -Wthread-safety -Werror;
+# clean.cc is the positive control and MUST compile. Registered as the
+# `thread_annotations_compile_test` CTest (and run directly by the
+# thread-safety CI job).
+#
+# Usage: run_compile_fail_tests.sh <c++-compiler> <repo-root>
+#
+# Exits 77 (CTest SKIP_RETURN_CODE) when the compiler is not Clang — GCC
+# has no thread safety analysis, so there is nothing to assert.
+
+set -u
+
+CXX="${1:?usage: run_compile_fail_tests.sh <c++-compiler> <repo-root>}"
+ROOT="${2:?usage: run_compile_fail_tests.sh <c++-compiler> <repo-root>}"
+DIR="${ROOT}/tests/compile_fail"
+FLAGS=(-fsyntax-only -std=c++20 -I "${ROOT}/src" -Wthread-safety -Werror)
+
+if ! "${CXX}" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: ${CXX} is not Clang; thread safety analysis unavailable"
+  exit 77
+fi
+
+failures=0
+
+check() {
+  local file="$1" expect="$2" output status
+  output=$("${CXX}" "${FLAGS[@]}" "${file}" 2>&1)
+  status=$?
+  case "${expect}" in
+    pass)
+      if [[ ${status} -ne 0 ]]; then
+        echo "FAIL: $(basename "${file}") should compile cleanly:"
+        echo "${output}"
+        failures=$((failures + 1))
+      fi
+      ;;
+    fail)
+      if [[ ${status} -eq 0 ]]; then
+        echo "FAIL: $(basename "${file}") compiled; the seeded misuse" \
+             "was not caught"
+        failures=$((failures + 1))
+      elif ! grep -q "thread-safety" <<<"${output}"; then
+        echo "FAIL: $(basename "${file}") failed for a reason other than" \
+             "thread safety analysis:"
+        echo "${output}"
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+}
+
+check "${DIR}/clean.cc" pass
+for file in "${DIR}"/*.cc; do
+  [[ "$(basename "${file}")" == "clean.cc" ]] && continue
+  check "${file}" fail
+done
+
+if [[ ${failures} -ne 0 ]]; then
+  echo "${failures} compile-fail assertion(s) failed"
+  exit 1
+fi
+echo "all compile-fail assertions held"

@@ -1,0 +1,21 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror:
+// writing a member guarded by a SharedMutex while holding only the
+// shared (reader) side.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+class Model {
+ public:
+  void Retrain() LC_EXCLUDES(mu_) {
+    lc::ReaderMutexLock lock(&mu_);  // Reader hold, but we mutate.
+    weights_ += 1.0;
+  }
+
+ private:
+  lc::SharedMutex mu_;
+  double weights_ LC_GUARDED_BY(mu_) = 0.0;
+};
+}  // namespace
+
+void Use() { Model().Retrain(); }

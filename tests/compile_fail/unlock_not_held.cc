@@ -1,0 +1,9 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror:
+// releasing a mutex the function never acquired.
+#include "util/mutex.h"
+
+namespace {
+lc::Mutex mu;
+}  // namespace
+
+void Use() { mu.Unlock(); }

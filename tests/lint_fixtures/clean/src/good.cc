@@ -1,0 +1,22 @@
+// A file every rule must pass. Mentions of getenv, atoi(, strtod and
+// std::mutex in comments or string literals must NOT trip the linter —
+// matching runs on stripped source.
+#include <string>
+
+namespace lc {
+long GetEnvInt(const char* name, long fallback);
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+long Knob() { return GetEnvInt("LC_FIXTURE_KNOB", 1); }
+
+// clang-format loves wrapping knob reads; the extractor must still see it.
+std::string WrappedKnob() {
+  return GetEnvString(
+      "LC_FIXTURE_WRAPPED", "default");
+}
+
+const char* Prose() {
+  // strtod and std::mutex in a comment are fine; so is a literal:
+  return "call atoi(getenv(...)) and std::mutex are just text here";
+}
+}  // namespace lc

@@ -1,0 +1,9 @@
+// Fixture twin of the real util/mutex.h: the ONE file in src/ where the
+// raw std:: synchronization types are allowed to appear.
+#include <mutex>
+
+namespace lc {
+class Mutex {
+  std::mutex mu_;
+};
+}  // namespace lc

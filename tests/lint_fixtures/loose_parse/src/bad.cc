@@ -1,0 +1,7 @@
+// Seeded violations: lenient number parsing outside util/str.
+#include <cstdlib>
+
+namespace lc {
+int Lenient(const char* text) { return atoi(text); }
+double AlsoLenient(const char* text) { return std::strtod(text, nullptr); }
+}  // namespace lc

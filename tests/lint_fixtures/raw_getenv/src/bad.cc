@@ -1,0 +1,6 @@
+// Seeded violation: reads a knob with raw getenv instead of util/env.
+#include <cstdlib>
+
+namespace lc {
+bool KnobSet() { return std::getenv("LC_FIXTURE_KNOB") != nullptr; }
+}  // namespace lc

@@ -1,0 +1,16 @@
+// Seeded violation: a raw std::mutex member in src/ outside util/mutex.h
+// is invisible to -Wthread-safety.
+#include <mutex>
+
+namespace lc {
+class Counter {
+  std::mutex mu_;
+  long count_ = 0;
+
+ public:
+  void Add(long n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+};
+}  // namespace lc

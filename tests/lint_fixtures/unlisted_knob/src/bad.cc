@@ -1,0 +1,10 @@
+// Seeded violation: reads a knob README.md does not document. The call is
+// wrapped across lines on purpose — the extractor must match it anyway.
+namespace lc {
+long GetEnvInt(const char* name, long fallback);
+
+long Knob() {
+  return GetEnvInt(
+      "LC_FIXTURE_UNLISTED", 0);
+}
+}  // namespace lc

@@ -202,7 +202,11 @@ SocketServerConfig NetConfig(std::vector<std::string> listen) {
 
 double ParseEstimate(const std::string& line) {
   EXPECT_TRUE(StartsWith(line, "EST ")) << line;
-  return std::strtod(line.c_str() + 4, nullptr);
+  std::string_view text = std::string_view(line).substr(4);
+  text = text.substr(0, text.find(' '));
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble(text, &value).ok()) << line;
+  return value;
 }
 
 // ---------------------------------------------------------------------------

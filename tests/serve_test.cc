@@ -293,7 +293,11 @@ TEST_F(ServeTest, ProtocolRejectsMalformedInputWithErrLines) {
   const std::string line = server.HandleLine(query->query.Serialize());
   ASSERT_TRUE(StartsWith(line, "EST ")) << line;
   const double direct = estimator.EstimateAll({query}, 1)[0];
-  EXPECT_EQ(std::strtod(line.c_str() + 4, nullptr), direct);
+  std::string_view text = std::string_view(line).substr(4);
+  text = text.substr(0, text.find(' '));
+  double served = 0.0;
+  ASSERT_TRUE(ParseDouble(text, &served).ok()) << line;
+  EXPECT_EQ(served, direct);
 
   const serve::Stats stats = server.GetStats();
   EXPECT_EQ(stats.rejected_malformed, 8u);
