@@ -92,6 +92,11 @@ ColumnPgStats BuildColumnPgStats(const Column& column,
 
   // MCVs: the most frequent values, like PostgreSQL keeping only values
   // that are "common enough" (here: frequency above ~1.5x the average).
+  //
+  // lc-analyze-allow(determinism): the hash-order escape out of `counts`
+  // is neutralized by the std::sort directly below — its comparator is a
+  // total order (count descending, value ascending tie-break), so the
+  // MCV list is bit-identical no matter how the table iterates.
   std::vector<std::pair<int32_t, int64_t>> ordered(counts.begin(),
                                                    counts.end());
   std::sort(ordered.begin(), ordered.end(),

@@ -119,7 +119,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool CloseIfIdle(std::chrono::steady_clock::time_point now,
                    std::chrono::milliseconds timeout);
 
-  bool closed() const { return closed_; }
+  /// Loop thread only (closed_ is loop-affine); LC_ON_LOOP because the
+  /// accessor's callers live outside the analyzed tree.
+  bool closed() const LC_ON_LOOP { return closed_; }
   int fd() const { return fd_; }
 
  private:

@@ -187,7 +187,10 @@ EventLoop::EventLoop(std::unique_ptr<Poller> poller)
   SetNonBlockingCloexec(wakeup_write_fd_);
   const Status watched =
       Watch(wakeup_read_fd_, /*want_read=*/true, /*want_write=*/false,
-            [this](const PollEvent&) { DrainWakeupPipe(); });
+            LC_CAPTURE_SAFE(
+                "the wakeup handler is unwatched by ~EventLoop before the "
+                "members it reaches die; a loop cannot outlive itself",
+                [this](const PollEvent&) { DrainWakeupPipe(); }));
   LC_CHECK(watched.ok()) << watched;
 }
 

@@ -102,8 +102,10 @@ class EventLoop {
              std::function<void()> task);
 
   /// Runs until Stop(); dispatches readiness handlers, posted tasks and
-  /// timers. Returns after the stop request is observed.
-  void Run();
+  /// timers. Returns after the stop request is observed. LC_ON_LOOP is
+  /// definitional here: the thread executing Run() IS the loop thread, so
+  /// its direct touches of handlers_/timers_ need no assert.
+  void Run() LC_ON_LOOP;
 
   /// Thread-safe and idempotent: makes Run() return.
   void Stop();

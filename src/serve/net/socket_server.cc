@@ -166,9 +166,13 @@ Status SocketServer::Start() {
         Listener* raw = listener.get();
         status = shard->loop->Watch(
             raw->fd(), /*want_read=*/true, /*want_write=*/false,
-            [this, raw_shard, raw](const PollEvent&) {
-              OnListenerReadable(raw_shard, raw);
-            });
+            LC_CAPTURE_SAFE(
+                "Shutdown() unwatches and clears every listener on its "
+                "own loop (phase 1), then joins the loop threads, before "
+                "shards_ or *this can die",
+                [this, raw_shard, raw](const PollEvent&) {
+                  OnListenerReadable(raw_shard, raw);
+                }));
         if (!status.ok()) break;
       }
       if (!status.ok()) break;
@@ -222,8 +226,12 @@ void SocketServer::OnListenerReadable(LoopShard* shard, Listener* listener) {
       } else {
         counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
         auto guard = std::make_shared<FdGuard>(fd);
-        target->loop->Post(
-            [this, target, guard] { AdoptFd(target, guard->Release()); });
+        target->loop->Post(LC_CAPTURE_SAFE(
+            "handoffs are only posted by loop 0's accept path, which "
+            "Shutdown() fences off (phase 1) before draining and joining "
+            "the loops that would run this; the fd itself is owned by the "
+            "shared FdGuard, closed if the sealed queue drops the task",
+            [this, target, guard] { AdoptFd(target, guard->Release()); }));
       }
       continue;
     }
@@ -275,7 +283,11 @@ void SocketServer::PauseAccepting(LoopShard* shard, Listener* listener) {
   shard->loop->RunAt(
       std::chrono::steady_clock::now() +
           std::chrono::milliseconds(kAcceptBackoffMs),
-      [this, shard, listener] { ResumeAccepting(shard, listener); });
+      LC_CAPTURE_SAFE(
+          "ResumeAccepting re-checks stopping_ and re-finds `listener` in "
+          "shard->listeners before use; Shutdown() joins this loop before "
+          "*this or the shards die",
+          [this, shard, listener] { ResumeAccepting(shard, listener); }));
 }
 
 void SocketServer::ResumeAccepting(LoopShard* shard, Listener* listener) {
@@ -290,9 +302,13 @@ void SocketServer::ResumeAccepting(LoopShard* shard, Listener* listener) {
   if (!alive) return;
   const Status watched = shard->loop->Watch(
       listener->fd(), /*want_read=*/true, /*want_write=*/false,
-      [this, shard, listener](const PollEvent&) {
-        OnListenerReadable(shard, listener);
-      });
+      LC_CAPTURE_SAFE(
+          "`listener` was just re-verified alive in shard->listeners, and "
+          "Shutdown() unwatches it (phase 1) on this same loop before any "
+          "teardown",
+          [this, shard, listener](const PollEvent&) {
+            OnListenerReadable(shard, listener);
+          }));
   if (!watched.ok()) {
     LC_LOG(WARNING) << "re-watching paused listener "
                     << listener->endpoint().ToString()
@@ -300,7 +316,10 @@ void SocketServer::ResumeAccepting(LoopShard* shard, Listener* listener) {
     shard->loop->RunAt(
         std::chrono::steady_clock::now() +
             std::chrono::milliseconds(kAcceptBackoffMs),
-        [this, shard, listener] { ResumeAccepting(shard, listener); });
+        LC_CAPTURE_SAFE(
+            "same contract as the PauseAccepting retry: stopping_ and the "
+            "shard->listeners membership are re-checked on entry",
+            [this, shard, listener] { ResumeAccepting(shard, listener); }));
     return;
   }
   // Catch up on connections that queued while paused; re-pauses if the
@@ -316,7 +335,11 @@ void SocketServer::ArmIdleTimer(LoopShard* shard) {
   const auto period = std::chrono::milliseconds(
       std::max<int64_t>(1, config_.idle_timeout_ms / 4));
   shard->loop->RunAt(std::chrono::steady_clock::now() + period,
-                     [this, shard] {
+                     LC_CAPTURE_SAFE(
+                         "the sweep re-checks stopping_ before touching "
+                         "anything and Shutdown() joins this loop before "
+                         "*this or the shard dies",
+                         [this, shard] {
     if (!stopping_.load(std::memory_order_acquire)) {
       const auto now = std::chrono::steady_clock::now();
       const auto timeout =
@@ -332,7 +355,7 @@ void SocketServer::ArmIdleTimer(LoopShard* shard) {
       }
       ArmIdleTimer(shard);
     }
-  });
+  }));
 }
 
 void SocketServer::ArmStatsTimer() {
@@ -341,7 +364,18 @@ void SocketServer::ArmStatsTimer() {
   // N duplicates. The counters it prints are the shared atomics, so the
   // line covers every loop's traffic regardless of who emits it.
   const auto period = std::chrono::milliseconds(config_.stats_interval_ms);
-  shards_[0]->loop->RunAt(std::chrono::steady_clock::now() + period, [this] {
+  // Raw [this] is safe by Shutdown() ordering: the timer fires only on
+  // loop 0's thread, and Shutdown() — which every destruction path runs
+  // first (~SocketServer calls it) — stops and joins all loop threads
+  // before shards_ or *this are torn down, so no firing can outlive the
+  // server. The re-arm is gated on stopping_, set before the join, which
+  // also bounds the timer chain.
+  shards_[0]->loop->RunAt(
+      std::chrono::steady_clock::now() + period,
+      LC_CAPTURE_SAFE(
+          "loop 0 is joined in Shutdown() before *this dies, and the "
+          "re-arm chain is cut by stopping_",
+          [this] {
     if (!stopping_.load(std::memory_order_acquire)) {
       const NetStats net = net_stats();
       std::string per_loop;
@@ -370,7 +404,7 @@ void SocketServer::ArmStatsTimer() {
                              per_loop.c_str());
       ArmStatsTimer();
     }
-  });
+  }));
 }
 
 void SocketServer::RendezvousAllLoops() {
@@ -386,10 +420,15 @@ void SocketServer::RendezvousAllLoops() {
   CondVar cv;
   size_t pending = shards_.size();
   for (const std::unique_ptr<LoopShard>& shard : shards_) {
-    shard->loop->Post([&mu, &cv, &pending] {
-      MutexLock lock(&mu);
-      if (--pending == 0) cv.NotifyAll();
-    });
+    shard->loop->Post(LC_CAPTURE_SAFE(
+        "by-reference captures of this stack frame are pinned by the "
+        "Wait below: RendezvousAllLoops does not return until every "
+        "barrier task has run, and it is only called while all loops "
+        "still run (before Stop() seals any queue)",
+        [&mu, &cv, &pending] {
+          MutexLock lock(&mu);
+          if (--pending == 0) cv.NotifyAll();
+        }));
   }
   MutexLock lock(&mu);
   while (pending != 0) cv.Wait(&mu);
@@ -428,12 +467,15 @@ void SocketServer::Shutdown() {
   // phase-1 task it can never post another handoff.
   for (const std::unique_ptr<LoopShard>& shard : shards_) {
     LoopShard* raw = shard.get();
-    raw->loop->Post([raw] {
-      for (const std::unique_ptr<Listener>& listener : raw->listeners) {
-        raw->loop->Unwatch(listener->fd());
-      }
-      raw->listeners.clear();
-    });
+    raw->loop->Post(LC_CAPTURE_SAFE(
+        "Shutdown() blocks on the rendezvous below until this task ran, "
+        "and the shard shells it points at outlive the joins",
+        [raw] {
+          for (const std::unique_ptr<Listener>& listener : raw->listeners) {
+            raw->loop->Unwatch(listener->fd());
+          }
+          raw->listeners.clear();
+        }));
   }
   RendezvousAllLoops();
 
@@ -447,7 +489,10 @@ void SocketServer::Shutdown() {
   // each loop keeps multiplexing until every claimed line has flushed.
   for (const std::unique_ptr<LoopShard>& shard : shards_) {
     LoopShard* raw = shard.get();
-    raw->loop->Post([this, raw] {
+    raw->loop->Post(LC_CAPTURE_SAFE(
+        "Shutdown() waits on drain_cv_ and then joins every loop thread "
+        "before *this or the shard shells are destroyed",
+        [this, raw] {
       raw->drain_started = true;
       // Snapshot: BeginDrain may close a connection, erasing it from the
       // map (which re-checks the mark via on_close).
@@ -460,7 +505,7 @@ void SocketServer::Shutdown() {
         connection->BeginDrain();
       }
       MarkLoopDrainedIfDone(raw);
-    });
+    }));
   }
 
   // Rendezvous before close: wait until EVERY loop drained. A wedged
@@ -486,17 +531,20 @@ void SocketServer::Shutdown() {
                        "remaining connections on all loops";
     for (const std::unique_ptr<LoopShard>& shard : shards_) {
       LoopShard* raw = shard.get();
-      raw->loop->Post([this, raw] {
-        std::vector<std::shared_ptr<Connection>> snapshot;
-        snapshot.reserve(raw->connections.size());
-        for (const auto& [fd, connection] : raw->connections) {
-          snapshot.push_back(connection);
-        }
-        for (const std::shared_ptr<Connection>& connection : snapshot) {
-          connection->ForceClose();
-        }
-        MarkLoopDrainedIfDone(raw);
-      });
+      raw->loop->Post(LC_CAPTURE_SAFE(
+          "Shutdown() waits for the drain count (no deadline this time) "
+          "and joins every loop thread before anything captured here dies",
+          [this, raw] {
+            std::vector<std::shared_ptr<Connection>> snapshot;
+            snapshot.reserve(raw->connections.size());
+            for (const auto& [fd, connection] : raw->connections) {
+              snapshot.push_back(connection);
+            }
+            for (const std::shared_ptr<Connection>& connection : snapshot) {
+              connection->ForceClose();
+            }
+            MarkLoopDrainedIfDone(raw);
+          }));
     }
     MutexLock lock(&drain_mu_);
     while (undrained_loops_ != 0) drain_cv_.Wait(&drain_mu_);

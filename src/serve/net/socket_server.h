@@ -186,7 +186,8 @@ class SocketServer {
   // Posts a no-op to every loop and waits until all ran it: everything
   // posted to any loop before the barrier has executed once it returns.
   void RendezvousAllLoops();
-  void MarkLoopDrainedIfDone(LoopShard* shard) LC_EXCLUDES(drain_mu_);
+  void MarkLoopDrainedIfDone(LoopShard* shard)
+      LC_EXCLUDES(drain_mu_) LC_ON_LOOP;
 
   EstimatorServer* const server_;
   const SocketServerConfig config_;

@@ -126,18 +126,72 @@
 
 // --- Loop confinement ------------------------------------------------------
 
+// There is no Clang attribute for thread confinement, so these three macros
+// are no-ops in every normal build. Under -DLC_ANALYZE (the configuration
+// tools/lc_analyze parses, never one that ships code) they expand into
+// __attribute__((annotate(...))) markers that survive into the AST, where
+// the analyzer turns the runtime AssertOnLoopThread() discipline into an
+// analysis-time proof. See tools/lc_analyze/run.py and the "Correctness
+// tooling" section of docs/ARCHITECTURE.md.
+
+#if defined(LC_ANALYZE) && defined(__clang__)
+#define LC_ANALYZE_ANNOTATE_(x) __attribute__((annotate(x)))
+#else
+#define LC_ANALYZE_ANNOTATE_(x)  // no-op outside the analysis parse
+#endif
+
 /// Documents a member owned by exactly ONE event-loop thread: it is not
 /// guarded by any mutex, and must only ever be touched (a) from the owning
 /// loop's thread while the loop runs, or (b) before Run() starts / after it
-/// returns, when no concurrent access is possible. There is no Clang
-/// attribute for thread confinement, so this expands to nothing; the
-/// runtime counterpart is EventLoop::AssertOnLoopThread(), a debug-build
-/// abort called by every method that touches loop-affine state (see
-/// serve/net/event_loop.h). The macro argument names the owning loop for
-/// the reader, e.g.:
+/// returns, when no concurrent access is possible. The runtime counterpart
+/// is EventLoop::AssertOnLoopThread(), a debug-build abort called by every
+/// method that touches loop-affine state (see serve/net/event_loop.h). The
+/// macro argument names the owning loop for the reader, e.g.:
 ///
 ///   std::map<int, Handler> handlers_ LC_LOOP_AFFINE(this);   // EventLoop
 ///   size_t pending_bytes_ LC_LOOP_AFFINE(loop_) = 0;         // Connection
-#define LC_LOOP_AFFINE(loop)
+///
+/// tools/lc_analyze (check: affinity) verifies every access to an affine
+/// member happens in a loop-confined function: one annotated LC_ON_LOOP,
+/// one that calls AssertOnLoopThread(), a lambda handed to the owning
+/// loop's Watch/Post/RunAt, or a function reached only from confined
+/// callers. Constructors and destructors are exempt, mirroring the TSA
+/// exemption above.
+#define LC_LOOP_AFFINE(loop) LC_ANALYZE_ANNOTATE_("lc_loop_affine")
+
+/// Declares that a function runs on the owning loop's thread by contract —
+/// the analysis-time twin of a "Loop thread only." comment. Use it where
+/// the contract cannot be derived from the call graph: EventLoop::Run()
+/// itself (it DEFINES the loop thread), or an accessor whose callers live
+/// outside the analyzed tree. Like LC_NO_THREAD_SAFETY_ANALYSIS, every use
+/// is a reviewed claim, not a proof — prefer AssertOnLoopThread().
+#define LC_ON_LOOP LC_ANALYZE_ANNOTATE_("lc_on_loop")
+
+/// Wraps a lambda handed to a cross-thread sink (EventLoop::Post/RunAt/
+/// Watch, EstimatorServer::SubmitAsync, ThreadPool::Submit) whose raw
+/// `this`/pointer/reference captures are safe for a reason the analyzer
+/// cannot see — typically "Shutdown() joins the loop threads before the
+/// captured object dies". The reason string is mandatory and should name
+/// that ordering. Normal builds erase the macro entirely (the lambda is
+/// passed through unchanged); the LC_ANALYZE parse routes it through an
+/// identity function the analyzer recognizes as a reviewed suppression.
+///
+///   loop->RunAt(when, LC_CAPTURE_SAFE(
+///       "loop joined in Shutdown() before *this dies", [this] { ... }));
+///
+/// Variadic because a capture list may contain top-level commas.
+#if defined(LC_ANALYZE)
+namespace lc {
+namespace analyze {
+template <typename F>
+constexpr F&& CaptureSafe(const char* /*why*/, F&& f) {
+  return static_cast<F&&>(f);
+}
+}  // namespace analyze
+}  // namespace lc
+#define LC_CAPTURE_SAFE(why, ...) ::lc::analyze::CaptureSafe(why, __VA_ARGS__)
+#else
+#define LC_CAPTURE_SAFE(why, ...) __VA_ARGS__
+#endif
 
 #endif  // LC_UTIL_THREAD_ANNOTATIONS_H_

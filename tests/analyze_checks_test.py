@@ -1,0 +1,382 @@
+#!/usr/bin/env python3
+"""Unit tests for the libclang-free half of tools/lc_analyze: the
+confinement fixed point, capture classification, determinism scoping,
+inline/baseline suppression, compile-flag whitelist, and the per-TU
+cache. Registered as the `analyze_selftest` CTest; runs on machines
+WITHOUT libclang — that is the point, the extraction layer is the only
+part these tests cannot reach (tests/analyze_fixtures_test.py covers it
+end to end where libclang exists).
+
+    python3 tests/analyze_checks_test.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools", "lc_analyze"))
+
+import checks  # noqa: E402
+import run  # noqa: E402
+
+
+def fn(name, **kw):
+    entry = {
+        "name": name, "file": "src/x.cc", "line": 1, "kind": "method",
+        "annotations": [], "asserts_loop": False, "calls": [],
+        "parent": None, "sink": None, "affine_accesses": [],
+    }
+    entry.update(kw)
+    return entry
+
+
+def access(member="pending_", cls="Conn", line=10):
+    return {"member": member, "class": cls, "file": "src/x.cc",
+            "line": line}
+
+
+class CaptureTokenTest(unittest.TestCase):
+    def test_simple_captures(self):
+        caps = checks.parse_capture_tokens(
+            ["[", "this", ",", "&", "x", ",", "y", "]", "(", ")", "{"])
+        self.assertEqual(
+            [(c["name"], c["mode"]) for c in caps],
+            [("this", "this"), ("x", "ref"), ("y", "value")])
+
+    def test_defaults_and_star_this(self):
+        self.assertEqual(
+            checks.parse_capture_tokens(["[", "&", "]"])[0]["mode"],
+            "default_ref")
+        self.assertEqual(
+            checks.parse_capture_tokens(["[", "=", "]"])[0]["mode"],
+            "default_copy")
+        self.assertEqual(
+            checks.parse_capture_tokens(["[", "*", "this", "]"])[0]["mode"],
+            "star_this")
+
+    def test_init_capture_with_nested_commas(self):
+        caps = checks.parse_capture_tokens(
+            ["[", "done", "=", "f", "(", "a", ",", "b", ")", ",",
+             "self", "]", "{"])
+        self.assertEqual([c["name"] for c in caps], ["done", "self"])
+
+    def test_empty_and_no_introducer(self):
+        self.assertEqual(checks.parse_capture_tokens(["[", "]"]), [])
+        self.assertEqual(checks.parse_capture_tokens(["(", ")"]), [])
+
+
+class CaptureCheckTest(unittest.TestCase):
+    def site(self, captures, capture_safe=None):
+        return {"sink": "EventLoop::Post", "file": "src/x.cc", "line": 5,
+                "captures": captures, "capture_safe": capture_safe,
+                "enclosing": "Conn::Arm"}
+
+    def merged(self, sites):
+        return {"functions": {}, "async_sites": sites, "determinism": []}
+
+    def test_raw_this_and_ref_flagged(self):
+        sites = [self.site([
+            {"name": "this", "mode": "this", "type": None},
+            {"name": "x", "mode": "ref", "type": None},
+            {"name": "&", "mode": "default_ref", "type": None},
+        ])]
+        findings = checks.check_capture(self.merged(sites))
+        self.assertEqual(len(findings), 3, findings)
+
+    def test_raw_pointer_value_flagged_smart_pointer_not(self):
+        sites = [self.site([
+            {"name": "raw", "mode": "value", "type": "Listener *"},
+            {"name": "self", "mode": "value",
+             "type": "std::shared_ptr<Connection>"},
+            {"name": "weak", "mode": "value",
+             "type": "std::weak_ptr<EventLoop>"},
+            {"name": "id", "mode": "value", "type": "long"},
+            {"name": "unknown", "mode": "value", "type": None},
+        ])]
+        findings = checks.check_capture(self.merged(sites))
+        self.assertEqual(len(findings), 1, findings)
+        self.assertIn("raw pointer 'raw'", findings[0]["message"])
+
+    def test_capture_safe_suppresses_site(self):
+        sites = [self.site(
+            [{"name": "this", "mode": "this", "type": None}],
+            capture_safe="loop joined before teardown")]
+        self.assertEqual(checks.check_capture(self.merged(sites)), [])
+
+
+class AffinityCheckTest(unittest.TestCase):
+    def check(self, functions):
+        return checks.check_affinity(
+            {"functions": functions, "async_sites": [], "determinism": []})
+
+    def test_unconfined_access_flagged(self):
+        findings = self.check(
+            {"f": fn("Conn::BadTouch", affine_accesses=[access()])})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("Conn::pending_", findings[0]["message"])
+
+    def test_assert_annotation_and_ctor_confine(self):
+        functions = {
+            "a": fn("Conn::OnEvent", asserts_loop=True,
+                    affine_accesses=[access()]),
+            "b": fn("Conn::Touch", annotations=["lc_on_loop"],
+                    affine_accesses=[access()]),
+            "c": fn("Conn::Conn", kind="constructor",
+                    affine_accesses=[access()]),
+            "d": fn("Conn::~Conn", kind="destructor",
+                    affine_accesses=[access()]),
+        }
+        self.assertEqual(self.check(functions), [])
+
+    def test_propagation_through_confined_callers(self):
+        functions = {
+            "run": fn("EventLoop::Run", annotations=["lc_on_loop"],
+                      calls=["helper"]),
+            "helper": fn("EventLoop::RunDueTimers",
+                         affine_accesses=[access("timers_", "EventLoop")]),
+        }
+        self.assertEqual(self.check(functions), [])
+
+    def test_mixed_callers_stay_unconfined(self):
+        functions = {
+            "run": fn("EventLoop::Run", annotations=["lc_on_loop"],
+                      calls=["helper"]),
+            "main": fn("main", calls=["helper"]),
+            "helper": fn("Helper", affine_accesses=[access()]),
+        }
+        self.assertEqual(len(self.check(functions)), 1)
+
+    def test_sink_lambda_confined_thread_lambda_not(self):
+        functions = {
+            "outer": fn("SocketServer::Start"),
+            "lam1": fn("lambda@src/x.cc:5:3", kind="lambda",
+                       parent="outer", sink="EventLoop::RunAt",
+                       affine_accesses=[access()]),
+            "lam2": fn("lambda@src/x.cc:9:3", kind="lambda",
+                       parent="outer", sink="thread",
+                       affine_accesses=[access(line=9)]),
+        }
+        findings = self.check(functions)
+        self.assertEqual(len(findings), 1, findings)
+        self.assertEqual(findings[0]["line"], 9)
+
+    def test_plain_lambda_inherits_enclosing(self):
+        functions = {
+            "outer": fn("Conn::OnEvent", asserts_loop=True),
+            "lam": fn("lambda@src/x.cc:7:3", kind="lambda",
+                      parent="outer", affine_accesses=[access(line=7)]),
+        }
+        self.assertEqual(self.check(functions), [])
+
+
+class DeterminismCheckTest(unittest.TestCase):
+    def obs(self, file, kind="banned_call", detail="rand"):
+        return {"kind": kind, "detail": detail, "file": file, "line": 3,
+                "enclosing": "f"}
+
+    def test_scoped_to_bit_identical_modules(self):
+        merged = {"functions": {}, "async_sites": [], "determinism": [
+            self.obs("src/est/pg_stats.cc"),
+            self.obs("src/serve/server.cc"),
+            self.obs("src/util/rng.cc"),
+            self.obs("src/util/rng/stream.cc"),
+        ]}
+        findings = checks.check_determinism(merged)
+        self.assertEqual(len(findings), 1, findings)
+        self.assertEqual(findings[0]["file"], "src/est/pg_stats.cc")
+
+    def test_dot_root_covers_everything(self):
+        merged = {"functions": {}, "async_sites": [],
+                  "determinism": [self.obs("anything/x.cc")]}
+        self.assertEqual(
+            len(checks.check_determinism(merged, roots=("."))), 1)
+
+    def test_pointer_keyed_container(self):
+        self.assertTrue(checks.is_pointer_keyed_container(
+            "std::unordered_map<const Node *, int>"))
+        self.assertTrue(checks.is_pointer_keyed_container(
+            "unordered_set<int *>"))
+        self.assertFalse(checks.is_pointer_keyed_container(
+            "std::unordered_map<int, Node *>"))
+        self.assertFalse(checks.is_pointer_keyed_container(
+            "std::vector<Node *>"))
+        self.assertFalse(checks.is_pointer_keyed_container(
+            "Dataset<Row *>"))
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_same_line_marker(self):
+        ranges = checks.find_allow_ranges(
+            "int x = rand();  // lc-analyze-allow(determinism): seeded\n")
+        self.assertEqual(ranges, [({"determinism"}, 1, 1)])
+
+    def test_standalone_marker_covers_wrapped_statement(self):
+        text = (
+            "// lc-analyze-allow(determinism): sorted below with a total\n"
+            "// order, so hash order cannot escape.\n"
+            "std::vector<std::pair<int, long>> ordered(counts.begin(),\n"
+            "                                          counts.end());\n"
+            "other();\n")
+        ranges = checks.find_allow_ranges(text)
+        self.assertEqual(ranges, [({"determinism"}, 3, 4)])
+
+    def test_multi_check_marker(self):
+        ranges = checks.find_allow_ranges(
+            "// lc-analyze-allow(affinity, capture): setup phase\n"
+            "Touch();\n")
+        self.assertEqual(ranges[0][0], {"affinity", "capture"})
+
+    def test_apply_inline_and_baseline(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src"))
+            with open(os.path.join(tmp, "src", "a.cc"), "w") as f:
+                f.write("x();\n"
+                        "y();  // lc-analyze-allow(capture): reviewed\n")
+            findings = [
+                {"check": "capture", "file": "src/a.cc", "line": 1,
+                 "symbol": "f", "message": "captures raw 'this'"},
+                {"check": "capture", "file": "src/a.cc", "line": 2,
+                 "symbol": "f", "message": "captures raw 'this'"},
+                {"check": "affinity", "file": "src/a.cc", "line": 1,
+                 "symbol": "Server::Start", "message": "off-loop touch"},
+            ]
+            baseline = [{"check": "affinity", "file": "src/a.cc",
+                         "symbol": "Start", "reason": "setup phase"}]
+            kept, suppressed = checks.apply_suppressions(
+                findings, tmp, baseline)
+            self.assertEqual(suppressed, 2)
+            self.assertEqual(len(kept), 1)
+            self.assertEqual(kept[0]["line"], 1)
+
+    def test_baseline_requires_reason(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "baseline.json")
+            with open(path, "w") as f:
+                json.dump({"suppressions": [{"check": "affinity"}]}, f)
+            with self.assertRaises(ValueError):
+                checks.load_baseline(path)
+
+    def test_repo_baseline_loads(self):
+        entries = checks.load_baseline(os.path.join(
+            REPO_ROOT, "tools", "lc_analyze", "baseline.json"))
+        self.assertTrue(all(e["reason"] for e in entries))
+
+
+class CompileArgsTest(unittest.TestCase):
+    def test_whitelist_keeps_includes_defines_std(self):
+        args = checks.whitelist_compile_args({
+            "directory": "/b",
+            "command": "g++ -O2 -Wall -Irel -I/abs -isystem /sys "
+                       "-DNDEBUG -std=gnu++20 -fno-exceptions -c x.cc",
+        })
+        self.assertIn("-xc++", args)
+        self.assertIn("-DLC_ANALYZE", args)
+        self.assertIn("-std=gnu++20", args)
+        self.assertIn("-I/b/rel", args)
+        self.assertIn("-I/abs", args)
+        self.assertIn("/sys", args)
+        self.assertNotIn("-O2", args)
+        self.assertNotIn("-fno-exceptions", args)
+
+    def test_defaults_cpp20(self):
+        args = checks.whitelist_compile_args(
+            {"directory": "/b", "command": "cc -c x.cc"})
+        self.assertIn("-std=c++20", args)
+
+
+class MergeFactsTest(unittest.TestCase):
+    def test_functions_union_and_sites_dedupe(self):
+        tu1 = {
+            "functions": {"f": fn("Conn::closed",
+                                  annotations=["lc_on_loop"])},
+            "async_sites": [{"sink": "EventLoop::Post", "file": "a.cc",
+                             "line": 1, "captures": [],
+                             "capture_safe": None, "enclosing": "g"}],
+            "determinism": [{"kind": "banned_call", "detail": "rand",
+                             "file": "a.cc", "line": 2, "enclosing": "g"}],
+        }
+        tu2 = {
+            "functions": {"f": fn("Conn::closed", asserts_loop=True,
+                                  affine_accesses=[access()])},
+            "async_sites": list(tu1["async_sites"]),
+            "determinism": list(tu1["determinism"]),
+        }
+        merged = checks.merge_facts([tu1, tu2])
+        self.assertEqual(merged["functions"]["f"]["annotations"],
+                         ["lc_on_loop"])
+        self.assertTrue(merged["functions"]["f"]["asserts_loop"])
+        self.assertEqual(len(merged["functions"]["f"]["affine_accesses"]),
+                         1)
+        self.assertEqual(len(merged["async_sites"]), 1)
+        self.assertEqual(len(merged["determinism"]), 1)
+
+
+class CacheTest(unittest.TestCase):
+    def make_entry(self, tmp, name="x.cc"):
+        src = os.path.join(tmp, "src")
+        os.makedirs(src, exist_ok=True)
+        path = os.path.join(src, name)
+        with open(path, "w") as f:
+            f.write("int main() { return 0; }\n")
+        return {"directory": tmp, "file": path,
+                "command": "g++ -std=c++20 -c " + path}
+
+    def test_cache_hit_skips_extractor_and_edit_invalidates(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            entry = self.make_entry(tmp)
+            cache_dir = os.path.join(tmp, "cache")
+            calls = []
+
+            def extractor(e, root):
+                calls.append(e["file"])
+                facts = {"tu": "src/x.cc", "functions": {},
+                         "async_sites": [], "determinism": []}
+                return facts, [e["file"]], 0
+
+            _, stats = run.analyze_entries(
+                [entry], tmp, cache_dir, 1, extractor)
+            self.assertEqual((stats["parsed"], stats["cached"]), (1, 0))
+            _, stats = run.analyze_entries(
+                [entry], tmp, cache_dir, 1, extractor)
+            self.assertEqual((stats["parsed"], stats["cached"]), (0, 1))
+            self.assertEqual(len(calls), 1)
+
+            with open(entry["file"], "a") as f:
+                f.write("// edited\n")
+            _, stats = run.analyze_entries(
+                [entry], tmp, cache_dir, 1, extractor)
+            self.assertEqual((stats["parsed"], stats["cached"]), (1, 0))
+
+    def test_version_bump_invalidates(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            entry = self.make_entry(tmp)
+            cache_dir = os.path.join(tmp, "cache")
+
+            def extractor(e, root):
+                return ({"tu": "t", "functions": {}, "async_sites": [],
+                         "determinism": []}, [e["file"]], 0)
+
+            run.analyze_entries([entry], tmp, cache_dir, 1, extractor)
+            _, stats = run.analyze_entries(
+                [entry], tmp, cache_dir, 2, extractor)
+            self.assertEqual(stats["parsed"], 1)
+
+    def test_select_entries_filters_paths_and_dedupes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            entry = self.make_entry(tmp)
+            bench = dict(self.make_entry(tmp, "b.cc"))
+            bench["file"] = bench["file"].replace(
+                os.path.join(tmp, "src"), tmp) + ""  # leave under tmp/src
+            header = dict(entry)
+            header["file"] = entry["file"] + ".h"
+            selected = run.select_entries(
+                [entry, entry, header], tmp, ["src"])
+            self.assertEqual(len(selected), 1)
+            self.assertEqual(selected[0]["file"], entry["file"])
+
+
+if __name__ == "__main__":
+    unittest.main()

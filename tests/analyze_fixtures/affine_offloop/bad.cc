@@ -1,0 +1,45 @@
+// Seeded affinity violation: BadTouch() reads a loop-affine member with
+// no AssertOnLoopThread, no LC_ON_LOOP, and no confined caller. Everything
+// else in the file demonstrates the blessed paths and must stay finding-
+// free, so the fixture test can assert on exactly one violation.
+#include "util/thread_annotations.h"
+
+// Stand-in for the serving loop: the analyzer matches the class/method
+// names and the AssertOnLoopThread spelling, not the real type.
+class EventLoop {
+ public:
+  void AssertOnLoopThread() {}
+  template <typename F>
+  void Post(F f) {
+    f();
+  }
+};
+
+class Conn {
+ public:
+  // OK: asserts before touching affine state.
+  void GoodAssert() {
+    loop_->AssertOnLoopThread();
+    pending_ += 1;
+  }
+
+  // OK: the touch happens inside a lambda handed to the loop.
+  void GoodLambda() {
+    loop_->Post([this] { pending_ += 1; });
+  }
+
+  // OK: annotated as running on the loop thread by contract.
+  void GoodAnnotated() LC_ON_LOOP { pending_ += 2; }
+
+  // OK via propagation: only confined callers reach the helper.
+  void GoodCaller() LC_ON_LOOP { Helper(); }
+
+  // VIOLATION: affine member read with no proof of confinement.
+  int BadTouch() { return pending_; }
+
+ private:
+  void Helper() { pending_ -= 1; }
+
+  EventLoop* loop_ = nullptr;
+  int pending_ LC_LOOP_AFFINE(loop_) = 0;
+};

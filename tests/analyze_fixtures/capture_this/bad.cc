@@ -1,0 +1,54 @@
+// Seeded capture-lifetime violations: raw `this`, a raw-pointer copy, and
+// a default-by-reference capture, each handed to a cross-thread sink with
+// no LC_CAPTURE_SAFE justification. The Good() sites must stay clean.
+#include "util/thread_annotations.h"
+
+// Spelling is what matters: the analyzer treats any capture whose type
+// contains "shared_ptr" as lifetime-safe.
+template <typename T>
+class fake_shared_ptr {
+ public:
+  T* get() const { return ptr_; }
+
+ private:
+  T* ptr_ = nullptr;
+};
+
+class EventLoop {
+ public:
+  template <typename F>
+  void Post(F f) {
+    f();
+  }
+  template <typename F>
+  void RunAt(long when, F f) {
+    (void)when;
+    f();
+  }
+};
+
+class Session {
+ public:
+  void Bad() {
+    // VIOLATION: raw this posted cross-thread.
+    loop_->Post([this] { ++n_; });
+    // VIOLATION: raw pointer captured by copy.
+    int* raw = &n_;
+    loop_->Post([raw] { ++*raw; });
+    // VIOLATION: default by-reference capture.
+    loop_->RunAt(0, [&] { ++n_; });
+  }
+
+  void Good(fake_shared_ptr<Session> self) {
+    // OK: shared_ptr capture.
+    loop_->Post([self] { (void)self.get(); });
+    // OK: reviewed suppression with a reason.
+    loop_->Post(LC_CAPTURE_SAFE(
+        "fixture: the loop is joined before the session dies",
+        [this] { ++n_; }));
+  }
+
+ private:
+  EventLoop* loop_ = nullptr;
+  int n_ = 0;
+};

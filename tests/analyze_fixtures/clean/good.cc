@@ -1,0 +1,58 @@
+// Clean fixture: every blessed idiom in one file, zero findings expected
+// from all three checks (the fixture test runs it with
+// --determinism-roots=. so the determinism rules are live too).
+#include "util/thread_annotations.h"
+
+extern "C" int ordered_input(int);
+
+template <typename T>
+class fake_shared_ptr {
+ public:
+  T* get() const { return ptr_; }
+
+ private:
+  T* ptr_ = nullptr;
+};
+
+class EventLoop {
+ public:
+  void AssertOnLoopThread() {}
+  template <typename F>
+  void Post(F f) {
+    f();
+  }
+};
+
+class Conn {
+ public:
+  // Affinity: assert, annotation, confined lambda, and propagation.
+  void OnEvent() {
+    loop_->AssertOnLoopThread();
+    bytes_ += 1;
+    Flush();
+  }
+  void Touch() LC_ON_LOOP { bytes_ += 2; }
+  void Arm(fake_shared_ptr<Conn> self) {
+    // Capture: shared_ptr is lifetime-safe; the lambda is loop-confined.
+    loop_->Post([self] {
+      if (self.get() != nullptr) self.get()->Touch();
+    });
+    // Capture: raw this, but reviewed and justified.
+    loop_->Post(LC_CAPTURE_SAFE(
+        "fixture: the loop is joined before the Conn dies",
+        [this] { bytes_ += 3; }));
+  }
+
+ private:
+  void Flush() { bytes_ = 0; }  // Reached only from confined OnEvent.
+
+  EventLoop* loop_ = nullptr;
+  long bytes_ LC_LOOP_AFFINE(loop_) = 0;
+};
+
+// Determinism: an ordinary loop over indexed input stays silent.
+int SumDeterministic(int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) sum += ordered_input(i);
+  return sum;
+}

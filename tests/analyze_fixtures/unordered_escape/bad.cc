@@ -1,0 +1,29 @@
+// Seeded determinism violations: a banned randomness call, hash-order
+// iteration escaping into a result, and a pointer-keyed container. The
+// fixture test runs with --determinism-roots=. so this tree counts as a
+// bit-identical module.
+extern "C" int rand();
+
+// Spelling stand-in: any type whose name contains "unordered_set" trips
+// the iteration/escape rules, no <unordered_set> needed.
+template <typename K>
+class unordered_set {
+ public:
+  const K* begin() const { return data_; }
+  const K* end() const { return data_ + 2; }
+
+ private:
+  K data_[2] = {};
+};
+
+int SumInHashOrder(const unordered_set<int>& values) {
+  int sum = 0;
+  // VIOLATION: hash-order iteration feeding the returned sum.
+  for (int v : values) sum += v;
+  // VIOLATION: rand() outside util/rng.
+  return sum + rand();
+}
+
+// VIOLATION: iteration order of a pointer-keyed container follows
+// addresses, which change run to run.
+unordered_set<int*> g_pointer_keys;

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""End-to-end tests for tools/lc_analyze against the seeded-violation
+trees under tests/analyze_fixtures/: each fixture is copied to a temp
+dir, given a synthetic compile_commands.json, and pushed through the real
+runner — libclang extraction, checks, suppressions, cache, exit codes.
+
+Self-skips with exit 77 (the CTest SKIP_RETURN_CODE convention, same as
+the compile-fail suite) when libclang is unavailable; the CI `analyze`
+job installs clang + python3-clang and runs it for real. Registered as
+the `analyze_fixtures` CTest; also runnable directly:
+
+    python3 tests/analyze_fixtures_test.py
+"""
+
+import io
+import json
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(REPO_ROOT, "tests", "analyze_fixtures")
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools", "lc_analyze"))
+
+import extract  # noqa: E402
+import run  # noqa: E402
+
+if not extract.libclang_available():
+    print("analyze_fixtures_test: libclang unavailable; skipping "
+          "(install clang + python3-clang)", file=sys.stderr)
+    sys.exit(77)
+
+
+def run_fixture(fixture, checks_arg, extra_args=(), tmp_holder=None):
+    """Copies one fixture tree to a temp dir, synthesizes
+    compile_commands.json, and runs the real driver. Returns
+    (exit_code, stdout_text)."""
+    tmp = tempfile.mkdtemp(prefix="lc_analyze_fixture_")
+    if tmp_holder is not None:
+        tmp_holder.append(tmp)
+    src_dir = os.path.join(tmp, "src")
+    shutil.copytree(os.path.join(FIXTURES, fixture), src_dir)
+    build = os.path.join(tmp, "build")
+    os.makedirs(build)
+    entries = []
+    for name in sorted(os.listdir(src_dir)):
+        if not name.endswith(".cc"):
+            continue
+        entries.append({
+            "directory": tmp,
+            "file": os.path.join(src_dir, name),
+            "command": "clang++ -std=c++20 -I%s -c %s"
+                       % (os.path.join(REPO_ROOT, "src"),
+                          os.path.join(src_dir, name)),
+        })
+    with open(os.path.join(build, "compile_commands.json"), "w") as f:
+        json.dump(entries, f)
+    argv = ["--build-dir", build, "--root", tmp, "--paths", "src",
+            "--checks", checks_arg, "--no-baseline",
+            "--determinism-roots", ".", "--require-libclang", "--stats"]
+    argv += list(extra_args)
+    out = io.StringIO()
+    with redirect_stdout(out), redirect_stderr(out):
+        code = run.main(argv)
+    if tmp_holder is None:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return code, out.getvalue()
+
+
+class FixtureTest(unittest.TestCase):
+    def test_affine_offloop_detected(self):
+        code, out = run_fixture("affine_offloop", "affinity")
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("[affinity]"), 1, out)
+        self.assertIn("Conn::pending_", out)
+        self.assertIn("BadTouch", out)
+
+    def test_capture_this_detected(self):
+        code, out = run_fixture("capture_this", "capture")
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("[capture]"), 3, out)
+        self.assertIn("raw 'this'", out)
+        self.assertIn("raw pointer 'raw'", out)
+        self.assertIn("default by-reference", out)
+        # The shared_ptr and LC_CAPTURE_SAFE sites stay silent.
+        self.assertNotIn("'self'", out)
+
+    def test_unordered_escape_detected(self):
+        code, out = run_fixture("unordered_escape", "determinism")
+        self.assertEqual(code, 1, out)
+        self.assertIn("rand()", out)
+        self.assertIn("hash order", out)
+        self.assertIn("keyed on a pointer", out)
+
+    def test_clean_tree_passes_all_checks(self):
+        code, out = run_fixture(
+            "clean", "affinity,capture,determinism")
+        self.assertEqual(code, 0, out)
+        self.assertIn("findings=0", out)
+
+    def test_advisory_mode_reports_but_exits_zero(self):
+        code, out = run_fixture("capture_this", "capture",
+                                extra_args=["--advisory"])
+        self.assertEqual(code, 0, out)
+        self.assertIn("[capture]", out)
+
+    def test_cache_second_run_hits_and_edit_invalidates(self):
+        tmp_holder = []
+        code, out = run_fixture("clean", "affinity",
+                                tmp_holder=tmp_holder)
+        tmp = tmp_holder[0]
+        try:
+            self.assertEqual(code, 0, out)
+            self.assertIn("cached=0", out)
+            build = os.path.join(tmp, "build")
+            argv = ["--build-dir", build, "--root", tmp, "--paths", "src",
+                    "--checks", "affinity", "--no-baseline",
+                    "--require-libclang", "--stats"]
+            out2 = io.StringIO()
+            with redirect_stdout(out2), redirect_stderr(out2):
+                code2 = run.main(argv)
+            self.assertEqual(code2, 0, out2.getvalue())
+            self.assertIn("cached=1", out2.getvalue())
+            self.assertIn("parsed=0", out2.getvalue())
+            with open(os.path.join(tmp, "src", "good.cc"), "a") as f:
+                f.write("// touched\n")
+            out3 = io.StringIO()
+            with redirect_stdout(out3), redirect_stderr(out3):
+                code3 = run.main(argv)
+            self.assertEqual(code3, 0, out3.getvalue())
+            self.assertIn("parsed=1", out3.getvalue())
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,2 @@
+// Registered in tests/CMakeLists.txt; must not trip the rule.
+int main() { return 0; }

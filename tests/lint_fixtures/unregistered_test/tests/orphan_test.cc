@@ -1,0 +1,3 @@
+// Seeded violation: this test file is not registered in
+// tests/CMakeLists.txt, so ctest would never run it.
+int main() { return 0; }

@@ -50,6 +50,13 @@ class FixtureTreeTest(unittest.TestCase):
         self.assertEqual(len(violations), 3, violations)
         self.assertTrue(all("[raw-mutex]" in v for v in violations))
 
+    def test_unregistered_test_fails(self):
+        violations = run_on("unregistered_test")
+        self.assertEqual(len(violations), 1, violations)
+        self.assertIn("[unregistered-test]", violations[0])
+        self.assertIn("orphan_test.cc", violations[0])
+        self.assertNotIn("listed_test", violations[0])
+
     def test_real_tree_is_clean(self):
         self.assertEqual(lint_invariants.check_tree(REPO_ROOT), [])
 

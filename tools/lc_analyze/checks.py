@@ -1,0 +1,444 @@
+#!/usr/bin/env python3
+"""Pure-Python half of tools/lc_analyze: everything downstream of the
+libclang facts dict produced by extract.py. No clang import anywhere in
+this file — the confinement fixed point, capture classification,
+determinism rules, inline/baseline suppression, and the compile-flag
+whitelist are all plain data transforms so tests/analyze_checks_test.py
+can exercise them on machines without libclang.
+
+Findings are dicts:
+  {check, file, line, symbol, message}
+rendered as "file:line: [check] message (in symbol)".
+"""
+
+import json
+import os
+import re
+import shlex
+
+CHECKS = ("affinity", "capture", "determinism")
+
+# Sinks whose lambda runs on the owning loop's thread: being passed to one
+# CONFINES the lambda for the affinity check.
+LOOP_SINKS = {"EventLoop::Post", "EventLoop::RunAt", "EventLoop::Watch"}
+
+# Modules whose outputs the README contract pins bit-identical at every
+# LC_THREADS; util/rng is the one sanctioned randomness source.
+DETERMINISM_ROOTS = ("src/workload", "src/core", "src/nn", "src/est")
+DETERMINISM_EXEMPT = ("src/util/rng",)
+
+SAFE_CAPTURE_TYPES = ("shared_ptr", "weak_ptr")
+
+ALLOW_RE = re.compile(r"lc-analyze-allow\(([a-z,\s-]+)\)")
+
+
+# --- shared helpers (used by extract.py too) -------------------------------
+
+def whitelist_compile_args(entry):
+    """Reduces a compile_commands entry to flags libclang understands:
+    includes, defines, language standard. The build may have been
+    configured for GCC; everything toolchain-specific is dropped, and the
+    analysis configuration (-DLC_ANALYZE, C++ source kind) is pinned so
+    the annotate attributes exist regardless of how CMake was invoked."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    directory = entry.get("directory", ".")
+    out = []
+    take_next = False
+    std = None
+    for arg in argv[1:]:  # argv[0] is the compiler
+        if take_next:
+            out.append(os.path.join(directory, arg)
+                       if not os.path.isabs(arg) else arg)
+            take_next = False
+            continue
+        if arg in ("-isystem", "-include", "-I"):
+            out.append(arg)
+            take_next = True
+        elif arg.startswith("-I"):
+            path = arg[2:]
+            if not os.path.isabs(path):
+                path = os.path.join(directory, path)
+            out.append("-I" + path)
+        elif arg.startswith(("-D", "-U")):
+            out.append(arg)
+        elif arg.startswith("-std="):
+            std = arg
+    return (["-xc++", std or "-std=c++20", "-DLC_ANALYZE"] + out)
+
+
+def parse_capture_tokens(spellings):
+    """Parses a lambda's capture list out of its token spellings (libclang
+    has no capture-list API). Input: the token stream of the LAMBDA_EXPR
+    extent, e.g. ['[', 'this', ',', '&', 'x', ']', '(', ...]. Returns one
+    dict per capture: {name, mode, type} with mode in
+    {this, star_this, ref, value, default_ref, default_copy}. `type` is
+    filled in later by the extractor for value captures."""
+    if not spellings or spellings[0] != "[":
+        return []
+    depth = 0
+    items, current = [], []
+    for tok in spellings:
+        if tok in ("[", "(", "{"):
+            depth += 1
+            if depth > 1:
+                current.append(tok)
+        elif tok in ("]", ")", "}"):
+            depth -= 1
+            if depth == 0:
+                items.append(current)
+                break
+            current.append(tok)
+        elif tok == "," and depth == 1:
+            items.append(current)
+            current = []
+        else:
+            current.append(tok)
+
+    captures = []
+    for item in items:
+        if not item:
+            continue
+        if item == ["this"]:
+            captures.append({"name": "this", "mode": "this", "type": None})
+        elif item[:2] == ["*", "this"]:
+            captures.append(
+                {"name": "*this", "mode": "star_this", "type": None})
+        elif item == ["&"]:
+            captures.append(
+                {"name": "&", "mode": "default_ref", "type": None})
+        elif item == ["="]:
+            captures.append(
+                {"name": "=", "mode": "default_copy", "type": None})
+        elif item[0] == "&":
+            name = item[1] if len(item) > 1 else ""
+            captures.append({"name": name, "mode": "ref", "type": None})
+        else:
+            # Plain copy or init-capture `name = expr` / pack `name...`.
+            name = item[0]
+            captures.append({"name": name, "mode": "value", "type": None})
+    return captures
+
+
+def is_pointer_keyed_container(type_spelling):
+    """True for associative containers keyed (or, for sets, valued) on a
+    raw pointer: iteration order then depends on addresses, which vary
+    run to run under ASLR."""
+    match = re.search(r"\b(?:unordered_)?(?:map|set|multimap|multiset)\s*<",
+                      type_spelling)
+    if not match:
+        return False
+    key = type_spelling[match.end():].split(",", 1)[0]
+    return "*" in key.replace("* const", "*").strip()
+
+
+# --- facts merging ----------------------------------------------------------
+
+def merge_facts(facts_list):
+    """Merges per-TU facts: functions union by id (annotations, calls and
+    accesses accumulate — a header method appears in many TUs), sites and
+    determinism observations dedupe by location."""
+    functions = {}
+    async_sites = {}
+    determinism = {}
+    for facts in facts_list:
+        for fid, entry in facts.get("functions", {}).items():
+            merged = functions.get(fid)
+            if merged is None:
+                merged = {k: (list(v) if isinstance(v, list) else v)
+                          for k, v in entry.items()}
+                merged["affine_accesses"] = [
+                    dict(a) for a in entry.get("affine_accesses", [])]
+                functions[fid] = merged
+                continue
+            for ann in entry.get("annotations", []):
+                if ann not in merged["annotations"]:
+                    merged["annotations"].append(ann)
+            for callee in entry.get("calls", []):
+                if callee not in merged["calls"]:
+                    merged["calls"].append(callee)
+            merged["asserts_loop"] |= entry.get("asserts_loop", False)
+            if entry.get("sink") and not merged.get("sink"):
+                merged["sink"] = entry["sink"]
+            seen = {(a["file"], a["line"], a["member"])
+                    for a in merged["affine_accesses"]}
+            for access in entry.get("affine_accesses", []):
+                key = (access["file"], access["line"], access["member"])
+                if key not in seen:
+                    merged["affine_accesses"].append(dict(access))
+                    seen.add(key)
+        for site in facts.get("async_sites", []):
+            async_sites.setdefault((site["file"], site["line"]), site)
+        for obs in facts.get("determinism", []):
+            determinism.setdefault(
+                (obs["file"], obs["line"], obs["kind"], obs["detail"]), obs)
+    return {
+        "functions": functions,
+        "async_sites": [async_sites[k] for k in sorted(async_sites)],
+        "determinism": [determinism[k] for k in sorted(determinism)],
+    }
+
+
+# --- check: affinity --------------------------------------------------------
+
+def compute_confined(functions):
+    """Fixed-point loop-confinement proof. A function is confined when:
+      - annotated LC_ON_LOOP, or
+      - it calls AssertOnLoopThread() itself, or
+      - it is a constructor/destructor (single-threaded by construction,
+        mirroring the TSA exemption), or
+      - it is a lambda handed to EventLoop::Watch/Post/RunAt, or
+      - it has at least one known caller and EVERY known caller is
+        confined (for non-sink lambdas: the lexically enclosing function
+        stands in as the caller — they run synchronously unless a sink
+        says otherwise, and a lambda handed to std::thread is explicitly
+        unconfined).
+    Returns the set of confined function ids."""
+    confined = set()
+    for fid, fn in functions.items():
+        if ("lc_on_loop" in fn.get("annotations", [])
+                or fn.get("asserts_loop")
+                or fn.get("kind") in ("constructor", "destructor")
+                or fn.get("sink") in LOOP_SINKS):
+            confined.add(fid)
+
+    callers = {}
+    for fid, fn in functions.items():
+        for callee in fn.get("calls", []):
+            callers.setdefault(callee, set()).add(fid)
+    for fid, fn in functions.items():
+        if fn.get("kind") == "lambda" and fn.get("sink") is None \
+                and fn.get("parent"):
+            callers.setdefault(fid, set()).add(fn["parent"])
+
+    changed = True
+    while changed:
+        changed = False
+        for fid, fn in functions.items():
+            if fid in confined:
+                continue
+            if fn.get("kind") == "lambda" and fn.get("sink") == "thread":
+                continue
+            froms = callers.get(fid, set())
+            if froms and all(c in confined for c in froms):
+                confined.add(fid)
+                changed = True
+    return confined
+
+
+def check_affinity(merged):
+    findings = []
+    confined = compute_confined(merged["functions"])
+    for fid, fn in merged["functions"].items():
+        if fid in confined:
+            continue
+        for access in fn.get("affine_accesses", []):
+            findings.append({
+                "check": "affinity",
+                "file": access["file"], "line": access["line"],
+                "symbol": fn["name"],
+                "message": "loop-affine member '%s::%s' touched outside a "
+                           "loop-confined function (no LC_ON_LOOP, no "
+                           "AssertOnLoopThread, not reached only from "
+                           "confined callers)"
+                           % (access["class"], access["member"]),
+            })
+    return findings
+
+
+# --- check: capture ---------------------------------------------------------
+
+def _capture_problem(capture):
+    mode = capture["mode"]
+    name = capture.get("name") or "?"
+    if mode == "this":
+        return "captures raw 'this'"
+    if mode == "ref":
+        return "captures '%s' by reference" % name
+    if mode == "default_ref":
+        return "default by-reference capture [&]"
+    if mode == "default_copy":
+        return "default copy capture [=] (may capture raw 'this')"
+    if mode == "value":
+        type_spelling = capture.get("type") or ""
+        if any(s in type_spelling for s in SAFE_CAPTURE_TYPES):
+            return None
+        if "*" in type_spelling:
+            return "captures raw pointer '%s' (%s)" % (name, type_spelling)
+    return None
+
+
+def check_capture(merged):
+    findings = []
+    for site in merged["async_sites"]:
+        if site.get("capture_safe") is not None:
+            continue
+        problems = [p for p in map(_capture_problem, site["captures"]) if p]
+        for problem in problems:
+            findings.append({
+                "check": "capture",
+                "file": site["file"], "line": site["line"],
+                "symbol": site["enclosing"],
+                "message": "lambda passed to %s %s; capture a shared_ptr/"
+                           "weak_ptr or wrap the site in "
+                           "LC_CAPTURE_SAFE(\"why\", ...)"
+                           % (site["sink"], problem),
+            })
+    return findings
+
+
+# --- check: determinism -----------------------------------------------------
+
+_DETERMINISM_MESSAGES = {
+    "banned_call": "call to %s() is a nondeterminism source; route "
+                   "randomness/time through util/rng",
+    "rng_engine": "RNG engine declared outside util/rng (%s); seed and "
+                  "stream discipline live in lc::Rng only",
+    "unordered_iter": "iteration over %s: hash order may escape into "
+                      "output; copy into a sorted container first",
+    "unordered_escape": "%s() on an unordered container escapes hash "
+                        "order; sort before it feeds any output",
+    "pointer_key": "container keyed on a pointer (%s): iteration order "
+                   "follows addresses, which change run to run",
+}
+
+
+def determinism_in_scope(path, roots=DETERMINISM_ROOTS,
+                         exempt=DETERMINISM_EXEMPT):
+    path = path.replace(os.sep, "/")
+    if any(path.startswith(e.rstrip("/") + "/") or path == e
+           for e in exempt):
+        return False
+    return any(path.startswith(r.rstrip("/") + "/") or r in (".", "")
+               for r in roots)
+
+
+def check_determinism(merged, roots=DETERMINISM_ROOTS,
+                      exempt=DETERMINISM_EXEMPT):
+    findings = []
+    for obs in merged["determinism"]:
+        if not determinism_in_scope(obs["file"], roots, exempt):
+            continue
+        findings.append({
+            "check": "determinism",
+            "file": obs["file"], "line": obs["line"],
+            "symbol": obs["enclosing"],
+            "message": _DETERMINISM_MESSAGES[obs["kind"]] % obs["detail"],
+        })
+    return findings
+
+
+# --- suppression ------------------------------------------------------------
+
+def find_allow_ranges(text):
+    """Scans one source file for `// lc-analyze-allow(check[, check]): why`
+    markers. A marker sharing a line with code covers that line; a marker
+    on its own (comment-only) line covers the statement that begins at the
+    next non-comment line, through the first line ending in ';', '{' or
+    '}' — so one marker above a wrapped call covers every line of it.
+    Returns [(set_of_checks, first_line, last_line)] (1-indexed)."""
+    lines = text.splitlines()
+    ranges = []
+    for idx, line in enumerate(lines):
+        match = ALLOW_RE.search(line)
+        if not match:
+            continue
+        names = {n.strip() for n in match.group(1).split(",") if n.strip()}
+        before = line[:line.index("//")] if "//" in line else line
+        if before.strip():
+            ranges.append((names, idx + 1, idx + 1))
+            continue
+        start = None
+        for j in range(idx + 1, len(lines)):
+            stripped = lines[j].strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            if start is None:
+                start = j + 1
+            if stripped.endswith((";", "{", "}")):
+                ranges.append((names, start, j + 1))
+                break
+        else:
+            if start is not None:
+                ranges.append((names, start, len(lines)))
+    return ranges
+
+
+def load_baseline(path):
+    if not path or not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    entries = data.get("suppressions", [])
+    for entry in entries:
+        if not entry.get("reason"):
+            raise ValueError(
+                "baseline entry without a reason: %r" % (entry,))
+    return entries
+
+
+def baseline_matches(entry, finding):
+    if entry.get("check") and entry["check"] != finding["check"]:
+        return False
+    if entry.get("file") and entry["file"] != finding["file"]:
+        return False
+    if entry.get("symbol") and entry["symbol"] not in finding["symbol"]:
+        return False
+    if entry.get("contains") and \
+            entry["contains"] not in finding["message"]:
+        return False
+    return True
+
+
+def apply_suppressions(findings, root, baseline_entries):
+    """Drops findings covered by an inline lc-analyze-allow marker or a
+    baseline entry. Returns (kept, suppressed_count)."""
+    allow_cache = {}
+    kept = []
+    suppressed = 0
+    for finding in findings:
+        path = os.path.join(root, finding["file"])
+        if finding["file"] not in allow_cache:
+            try:
+                with open(path, encoding="utf-8") as f:
+                    allow_cache[finding["file"]] = find_allow_ranges(
+                        f.read())
+            except OSError:
+                allow_cache[finding["file"]] = []
+        inline = any(
+            finding["check"] in names and first <= finding["line"] <= last
+            for names, first, last in allow_cache[finding["file"]])
+        in_baseline = any(baseline_matches(e, finding)
+                          for e in baseline_entries)
+        if inline or in_baseline:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+# --- driver-facing entry point ----------------------------------------------
+
+def run_checks(facts_list, enabled=CHECKS, determinism_roots=None):
+    merged = merge_facts(facts_list)
+    findings = []
+    if "affinity" in enabled:
+        findings += check_affinity(merged)
+    if "capture" in enabled:
+        findings += check_capture(merged)
+    if "determinism" in enabled:
+        roots = determinism_roots or DETERMINISM_ROOTS
+        exempt = DETERMINISM_EXEMPT if roots is DETERMINISM_ROOTS \
+            else tuple(e for e in DETERMINISM_EXEMPT)
+        findings += check_determinism(merged, roots, exempt)
+    findings.sort(key=lambda f: (f["file"], f["line"], f["check"],
+                                 f["message"]))
+    return findings
+
+
+def render(finding):
+    return "%s:%d: [%s] %s (in %s)" % (
+        finding["file"], finding["line"], finding["check"],
+        finding["message"], finding["symbol"])

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Driver for the lc_analyze AST checks (affinity / capture / determinism).
+
+    python3 tools/lc_analyze/run.py --build-dir build [--paths src]
+        [--checks affinity,capture,determinism] [--advisory]
+        [--require-libclang] [--stats]
+
+Reads compile_commands.json from --build-dir (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON; the root CMakeLists turns it on by
+default), parses every .cc under --paths with libclang and -DLC_ANALYZE,
+and fails (exit 1) on any finding not covered by an inline
+`// lc-analyze-allow(check): why` marker or tools/lc_analyze/baseline.json.
+
+Exit codes: 0 clean, 1 findings, 77 libclang unavailable (the CTest
+SKIP_RETURN_CODE convention; --require-libclang turns that into a hard
+error for CI, where a silent skip would be a hole).
+
+Per-TU cache: each TU's extracted facts are stored under
+<build>/lc_analyze_cache keyed by the compile flags, keeping a content
+hash of every in-repo file the TU read. A re-run after no edits touches
+no compiler at all — cache hits don't even need libclang — which is what
+makes the CI double-run near-instant.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.setrecursionlimit(100000)
+
+import checks  # noqa: E402
+
+EXIT_FINDINGS = 1
+EXIT_SKIP = 77
+
+
+def sha256_file(path):
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 16), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def cache_key(entry, root, version):
+    args = checks.whitelist_compile_args(entry)
+    blob = json.dumps([version, os.path.relpath(entry["file"], root), args],
+                      sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def load_cached(cache_dir, key):
+    """Returns the cached facts when every recorded dependency still
+    hashes the same; None on miss/invalidation."""
+    path = os.path.join(cache_dir, key + ".json")
+    try:
+        with open(path, encoding="utf-8") as f:
+            entry = json.load(f)
+    except (OSError, ValueError):
+        return None
+    for dep, digest in entry.get("deps", {}).items():
+        try:
+            if sha256_file(dep) != digest:
+                return None
+        except OSError:
+            return None
+    return entry.get("facts")
+
+
+def store_cached(cache_dir, key, facts, deps):
+    os.makedirs(cache_dir, exist_ok=True)
+    payload = {
+        "deps": {dep: sha256_file(dep) for dep in deps},
+        "facts": facts,
+    }
+    path = os.path.join(cache_dir, key + ".json")
+    tmp = path + ".tmp.%d" % os.getpid()
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+    os.replace(tmp, path)
+
+
+def select_entries(compile_commands, root, paths):
+    prefixes = tuple(os.path.realpath(os.path.join(root, p)) + os.sep
+                     for p in paths)
+    selected, seen = [], set()
+    for entry in compile_commands:
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.join(entry.get("directory", root), path)
+        path = os.path.realpath(path)
+        if not path.endswith((".cc", ".cpp")):
+            continue
+        if not path.startswith(prefixes):
+            continue
+        if path in seen:
+            continue
+        seen.add(path)
+        normalized = dict(entry)
+        normalized["file"] = path
+        selected.append(normalized)
+    return selected
+
+
+def analyze_entries(entries, root, cache_dir, version, extractor):
+    """Returns (facts_list, stats). `extractor` is
+    callable(entry, root) -> (facts, deps, errors); injected so the cache
+    logic is testable without libclang. It is only invoked on cache
+    misses — a fully warm cache needs no extractor at all."""
+    facts_list = []
+    stats = {"tus": len(entries), "cached": 0, "parsed": 0, "errors": 0}
+    for entry in entries:
+        key = cache_key(entry, root, version)
+        facts = load_cached(cache_dir, key)
+        if facts is not None:
+            stats["cached"] += 1
+            facts_list.append(facts)
+            continue
+        facts, deps, errors = extractor(entry, root)
+        stats["parsed"] += 1
+        stats["errors"] += errors
+        facts_list.append(facts)
+        store_cached(cache_dir, key, facts, deps)
+    return facts_list, stats
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--build-dir", required=True,
+                        help="CMake build dir with compile_commands.json")
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: this repo)")
+    parser.add_argument("--paths", default="src",
+                        help="comma list of roots to analyze (default src)")
+    parser.add_argument("--checks", default=",".join(checks.CHECKS),
+                        help="comma list of checks to run")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report findings but exit 0 (bench/examples)")
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="fail (exit 2) instead of skipping (exit 77) "
+                             "when libclang is unavailable")
+    parser.add_argument("--baseline",
+                        default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)),
+                            "baseline.json"),
+                        help="findings baseline/suppression file")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file (fixture tests)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="per-TU facts cache "
+                             "(default <build-dir>/lc_analyze_cache)")
+    parser.add_argument("--determinism-roots", default=None,
+                        help="comma list overriding the determinism "
+                             "modules (fixture tests pass '.')")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache/parse statistics")
+    args = parser.parse_args(argv)
+
+    root = os.path.realpath(args.root)
+    cache_dir = args.cache_dir or os.path.join(args.build_dir,
+                                               "lc_analyze_cache")
+    enabled = tuple(c.strip() for c in args.checks.split(",") if c.strip())
+    for check in enabled:
+        if check not in checks.CHECKS:
+            parser.error("unknown check %r (have: %s)"
+                         % (check, ", ".join(checks.CHECKS)))
+
+    import extract  # deferred: merely importing is fine without libclang
+
+    compile_commands_path = os.path.join(args.build_dir,
+                                         "compile_commands.json")
+    try:
+        with open(compile_commands_path, encoding="utf-8") as f:
+            compile_commands = json.load(f)
+    except OSError:
+        print("lc_analyze: %s not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" % compile_commands_path,
+              file=sys.stderr)
+        # Without libclang this machine could never run the analysis
+        # anyway: prefer the skip so fresh checkouts' ctest stays green.
+        if not extract.libclang_available() and not args.require_libclang:
+            return EXIT_SKIP
+        return 2
+
+    entries = select_entries(compile_commands, root,
+                             [p.strip() for p in args.paths.split(",")])
+    if not entries:
+        print("lc_analyze: no translation units under --paths %s"
+              % args.paths, file=sys.stderr)
+        return 2
+
+    # A fully warm cache can answer without libclang; probe lazily.
+    started = time.monotonic()
+
+    def extractor(entry, entry_root):
+        if not extract.libclang_available():
+            raise extract.LibclangUnavailable()
+        return extract.extract_tu(entry, entry_root)
+
+    try:
+        facts_list, stats = analyze_entries(
+            entries, root, cache_dir, extract.FACTS_VERSION, extractor)
+    except extract.LibclangUnavailable:
+        if args.require_libclang:
+            print("lc_analyze: libclang required but unavailable "
+                  "(install clang + python3-clang)", file=sys.stderr)
+            return 2
+        print("lc_analyze: libclang unavailable; skipping (install clang "
+              "+ python3-clang to run the AST checks)", file=sys.stderr)
+        return EXIT_SKIP
+
+    determinism_roots = None
+    if args.determinism_roots is not None:
+        determinism_roots = tuple(
+            p.strip() for p in args.determinism_roots.split(",")
+            if p.strip())
+    findings = checks.run_checks(facts_list, enabled, determinism_roots)
+
+    baseline_entries = [] if args.no_baseline else \
+        checks.load_baseline(args.baseline)
+    kept, suppressed = checks.apply_suppressions(
+        findings, root, baseline_entries)
+
+    for finding in kept:
+        print(checks.render(finding))
+    if args.stats:
+        print("lc_analyze: tus=%d cached=%d parsed=%d parse_errors=%d "
+              "suppressed=%d findings=%d elapsed=%.2fs"
+              % (stats["tus"], stats["cached"], stats["parsed"],
+                 stats["errors"], suppressed, len(kept),
+                 time.monotonic() - started))
+    if kept:
+        print("lc_analyze: %d finding(s)%s"
+              % (len(kept), " [advisory]" if args.advisory else ""),
+              file=sys.stderr)
+        return 0 if args.advisory else EXIT_FINDINGS
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -29,6 +29,13 @@ Enforced rules (one violation line per finding, exit 1 on any):
                   silently punches a hole in the -Wthread-safety proofs.
                   Allowed only in src/util/mutex.h, the wrapper itself.
 
+  unregistered-test
+                  Every tests/*_test.cc file is registered in
+                  tests/CMakeLists.txt. An unregistered test still
+                  compiles in isolation and looks alive in the tree, but
+                  ctest never runs it — it is silence wearing a test's
+                  name.
+
 Matching runs on comment- and string-stripped source (so prose about
 strtod, or a string containing "getenv", never trips a rule), except knob
 extraction, which reads the original text because the knob name IS a
@@ -49,7 +56,8 @@ import sys
 SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 SCAN_DIRS = ("src", "bench", "examples", "tests")
 KNOB_TABLE_DIRS = ("src", "bench", "examples")
-SKIP_DIR_PARTS = {"lint_fixtures", "compile_fail", "build", "CMakeFiles"}
+SKIP_DIR_PARTS = {"lint_fixtures", "compile_fail", "analyze_fixtures",
+                  "build", "CMakeFiles"}
 
 GETENV_RE = re.compile(r"\bgetenv\s*\(")
 GETENV_ALLOWED = {os.path.join("src", "util", "env.cc")}
@@ -174,6 +182,24 @@ def check_tree(root):
                     f"std::{match.group(1)} is invisible to thread safety "
                     "analysis; use the annotated lc:: wrapper from "
                     "util/mutex.h",
+                )
+
+    tests_cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
+    tests_dir = os.path.join(root, "tests")
+    if os.path.isdir(tests_dir):
+        try:
+            with open(tests_cmake_path, encoding="utf-8") as f:
+                tests_cmake = f.read()
+        except OSError:
+            tests_cmake = ""
+        for name in sorted(os.listdir(tests_dir)):
+            if not name.endswith("_test.cc"):
+                continue
+            if os.path.splitext(name)[0] not in tests_cmake:
+                report(
+                    os.path.join(tests_dir, name), 1, "unregistered-test",
+                    f"{name} is not registered in tests/CMakeLists.txt; "
+                    "an unregistered test compiles to silence",
                 )
 
     readme_path = os.path.join(root, "README.md")
